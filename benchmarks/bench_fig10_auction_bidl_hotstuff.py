@@ -1,0 +1,25 @@
+"""E12 — Figure 10(b)/(d): auction vs BIDL and Sync HotStuff."""
+
+from repro.bench.experiments import fig10_comparison
+from repro.bench.reporting import format_comparison
+
+
+def test_fig10_auction(benchmark, bench_duration, emit_report):
+    series = benchmark.pedantic(
+        lambda: fig10_comparison("auction", duration=bench_duration), rounds=1, iterations=1
+    )
+    emit_report(format_comparison("Figure 10(b)/(d): auction application", "rate", series))
+
+    orderless = series["orderlesschain"]
+    bidl = series["bidl"]
+    hotstuff = series["synchotstuff"]
+    top = -1
+
+    orderless_lats = [r.latency_modify.avg_ms for _, r in orderless]
+    assert max(orderless_lats) < 2.5 * min(orderless_lats)
+    assert bidl[top][1].latency_modify.avg_ms > 2.5 * bidl[0][1].latency_modify.avg_ms
+    assert hotstuff[top][1].latency_modify.avg_ms > 2.5 * hotstuff[0][1].latency_modify.avg_ms
+    assert (
+        orderless[top][1].throughput_modify_tps
+        >= max(bidl[top][1].throughput_modify_tps, hotstuff[top][1].throughput_modify_tps)
+    )

@@ -1,0 +1,24 @@
+"""E1 — Figure 6(a): synthetic application, arrival-rate sweep.
+
+Paper claim: "the throughput increases with an increasing transaction
+arrival rate, but the latency rises."
+"""
+
+from repro.bench.experiments import fig6a_arrival_rate
+from repro.bench.reporting import format_sweep
+
+
+def test_fig6a_arrival_rate(benchmark, bench_duration, emit_report):
+    results = benchmark.pedantic(
+        lambda: fig6a_arrival_rate(duration=bench_duration), rounds=1, iterations=1
+    )
+    emit_report(format_sweep("Figure 6(a): transaction arrival rate", "rate", results))
+
+    rates = [rate for rate, _ in results]
+    throughputs = [r.throughput_tps for _, r in results]
+    latencies = [r.latency_modify.avg_ms for _, r in results]
+    # Throughput tracks the arrival rate across the sweep...
+    assert throughputs[-1] > 2.5 * throughputs[0]
+    assert throughputs[-1] > 0.6 * rates[-1]
+    # ...while latency rises with load.
+    assert latencies[-1] > latencies[0]

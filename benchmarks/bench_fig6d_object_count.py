@@ -1,0 +1,20 @@
+"""E4 — Figure 6(d): synthetic application, objects-per-transaction sweep.
+
+Paper claim: "the latency increases for a larger number of objects in
+the transaction due to the locking mechanism used in the cache to
+avoid concurrent reads and writes."
+"""
+
+from repro.bench.experiments import fig6d_object_count
+from repro.bench.reporting import format_sweep
+
+
+def test_fig6d_object_count(benchmark, bench_duration, emit_report):
+    results = benchmark.pedantic(
+        lambda: fig6d_object_count(duration=bench_duration), rounds=1, iterations=1
+    )
+    emit_report(format_sweep("Figure 6(d): objects per transaction", "objects", results))
+
+    latencies = [r.latency_modify.avg_ms for _, r in results]
+    # Cache-lock contention: modify latency grows with object count.
+    assert latencies[-1] > 1.5 * latencies[0]

@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the rows/series it plots. Runs use the utilization-preserving
+scale-down (``REPRO_BENCH_SCALE``, default 20; see DESIGN.md) and a
+reduced duration (``REPRO_BENCH_DURATION``, default 15 simulated
+seconds vs the paper's 180), so the full suite completes on a laptop.
+
+Set ``REPRO_BENCH_SCALE=1 REPRO_BENCH_DURATION=180`` for paper scale.
+"""
+
+import os
+import sys
+
+import pytest
+
+# Make the printed figures visible in the benchmark run's output.
+_REPORT_LINES = []
+
+
+def emit(text: str) -> None:
+    """Print a figure block and remember it for the final summary."""
+    print("\n" + text, flush=True)
+    _REPORT_LINES.append(text)
+
+
+@pytest.fixture
+def bench_duration() -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", "15"))
+
+
+@pytest.fixture
+def emit_report():
+    return emit
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _REPORT_LINES:
+        terminalreporter.section("reproduced figures and tables")
+        for block in _REPORT_LINES:
+            terminalreporter.write_line(block)
+            terminalreporter.write_line("")

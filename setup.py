@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` on old setuptools needs
+``bdist_wheel``; when that is unavailable, ``python setup.py develop``
+still installs the package in editable mode.
+"""
+
+from setuptools import setup
+
+setup()

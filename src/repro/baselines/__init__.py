@@ -1,0 +1,33 @@
+"""Baseline systems the paper compares against (Section 9).
+
+* :mod:`repro.baselines.fabric` — Hyperledger Fabric:
+  execute → order (Solo ordering service) → MVCC-validate → commit;
+* :mod:`repro.baselines.fabric_crdt` — FabricCRDT: the ordering
+  pipeline of Fabric, but commits merge state-based JSON CRDTs instead
+  of performing MVCC validation;
+* :mod:`repro.baselines.bidl` — BIDL: a central sequencer plus
+  parallel execution and coordination-based consensus, designed for
+  data-center networks;
+* :mod:`repro.baselines.sync_hotstuff` — Sync HotStuff: synchronous
+  leader-based BFT state-machine replication (commit after 2Δ).
+
+As in the paper, these are reimplementations of each system's
+*concepts* (the coordination structure that determines performance),
+not of every production feature.
+"""
+
+from repro.baselines.bidl import BIDLNetwork, BIDLSettings
+from repro.baselines.fabric import FabricNetwork, FabricSettings
+from repro.baselines.fabric_crdt import FabricCRDTNetwork, FabricCRDTSettings
+from repro.baselines.sync_hotstuff import SyncHotStuffNetwork, SyncHotStuffSettings
+
+__all__ = [
+    "BIDLNetwork",
+    "BIDLSettings",
+    "FabricCRDTNetwork",
+    "FabricCRDTSettings",
+    "FabricNetwork",
+    "FabricSettings",
+    "SyncHotStuffNetwork",
+    "SyncHotStuffSettings",
+]

@@ -1,0 +1,380 @@
+"""FabricCRDT baseline: Fabric's ordering pipeline + JSON CRDT merges.
+
+FabricCRDT "does not perform an MVCC validation and only merges the
+transaction values using JSON CRDT techniques" (Section 9). Its CRDTs
+are *state-based*: "for every modification ... the entire object stored
+on the ledger must be retrieved and modified and then sent to
+organizations to be merged with the existing objects. On FabricCRDT,
+the objects gradually become large, negatively affecting the
+performance" (Section 10).
+
+Consequences modeled here:
+
+* endorsement retrieves the whole object — CPU cost and reply size grow
+  with the object's update history;
+* the assembled transaction carries the whole object — wire size grows;
+* commit merges update histories — CPU cost grows;
+* per the paper's fairness note, the peers keep a *cache* of merged
+  documents (we model the cache as the resident `JSONCRDTDocument`);
+* transactions taking longer than ``fabriccrdt_timeout`` (240 s) are
+  timed out and excluded from throughput/latency, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.baselines.common import Batch, BatchServer
+from repro.core.perf import PerfModel
+from repro.core.recording import TransactionRecorder
+from repro.crdt.json_crdt import JSONCRDTDocument
+from repro.errors import ConfigError
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.core import Simulator
+from repro.sim.events import AnyOf, Event
+from repro.sim.resources import Resource
+from repro.sim.rng import RngRegistry
+
+MSG_PROPOSAL = "fabriccrdt.proposal"
+MSG_ENDORSEMENT = "fabriccrdt.endorsement"
+MSG_ORDER = "fabriccrdt.order"
+MSG_BLOCK = "fabriccrdt.block"
+MSG_COMMIT_EVENT = "fabriccrdt.commit_event"
+MSG_READ = "fabriccrdt.read"
+MSG_READ_RESPONSE = "fabriccrdt.read_response"
+
+ORDERER_ID = "fabriccrdt-orderer"
+
+Update = Tuple[str, Tuple[str, ...], Any]  # (document key, path, value)
+
+
+def voting_updates(params: Dict[str, Any]) -> List[Update]:
+    """One JSON-CRDT update on the elected party's document."""
+    key = f"voting/{params['election']}/{params['party']}"
+    return [(key, (params["voter"],), True)]
+
+
+def auction_updates(params: Dict[str, Any]) -> List[Update]:
+    key = f"auction/{params['auction']}"
+    return [(key, (params["bidder"],), params["cumulative"])]
+
+
+def synthetic_updates(params: Dict[str, Any]) -> List[Update]:
+    return [
+        (f"synthetic/obj{index}", (params["client_id"],), params.get("value", 1))
+        for index in params["object_indexes"]
+    ]
+
+
+APP_UPDATES = {
+    "voting": voting_updates,
+    "auction": auction_updates,
+    "synthetic": synthetic_updates,
+}
+
+
+def read_value(documents: Dict[str, JSONCRDTDocument], app: str, params: Dict[str, Any]) -> Any:
+    if app == "voting":
+        key = f"voting/{params['election']}/{params['party']}"
+        doc = documents.get(key)
+        if doc is None:
+            return 0
+        return sum(1 for v in doc.value().values() if v is True)
+    if app == "auction":
+        doc = documents.get(f"auction/{params['auction']}")
+        if doc is None:
+            return None
+        bids = doc.value()
+        if not bids:
+            return None
+        bidder = max(sorted(bids), key=lambda b: bids[b] if isinstance(bids[b], (int, float)) else 0)
+        return {"bidder": bidder, "amount": bids[bidder]}
+    docs = [documents.get(f"synthetic/obj{i}") for i in params["object_indexes"]]
+    return [doc.value() if doc else None for doc in docs]
+
+
+@dataclass
+class FabricCRDTSettings:
+    num_orgs: int = 8
+    quorum: int = 4
+    app: str = "voting"
+    seed: int = 0
+    perf: PerfModel = field(default_factory=PerfModel)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.quorum <= self.num_orgs:
+            raise ConfigError(f"need 0 < q <= n, got q={self.quorum}, n={self.num_orgs}")
+        if self.app not in APP_UPDATES:
+            raise ConfigError(f"unknown app {self.app!r}; choose from {sorted(APP_UPDATES)}")
+
+
+class FabricCRDTPeer:
+    """A peer holding state-based JSON CRDT documents."""
+
+    def __init__(self, net: "FabricCRDTNetwork", peer_id: str) -> None:
+        self.net = net
+        self.peer_id = peer_id
+        self.cpu = Resource(net.sim, capacity=net.settings.perf.vcpus)
+        self.documents: Dict[str, JSONCRDTDocument] = {}
+        self.committed = 0
+        net.network.register(peer_id, self._on_message)
+
+    def document(self, key: str) -> JSONCRDTDocument:
+        if key not in self.documents:
+            self.documents[key] = JSONCRDTDocument()
+        return self.documents[key]
+
+    def document_size(self, key: str) -> int:
+        doc = self.documents.get(key)
+        return doc.size() if doc is not None else 0
+
+    def _on_message(self, message: Message) -> None:
+        if message.corrupted:
+            return
+        if message.msg_type == MSG_PROPOSAL:
+            self.net.sim.process(self._endorse(message), name=f"{self.peer_id}.endorse")
+        elif message.msg_type == MSG_BLOCK:
+            self.net.sim.process(self._merge_block(message), name=f"{self.peer_id}.merge")
+        elif message.msg_type == MSG_READ:
+            self.net.sim.process(self._read(message), name=f"{self.peer_id}.read")
+
+    def _endorse(self, message: Message):
+        perf = self.net.settings.perf
+        body = message.body
+        updates = APP_UPDATES[self.net.settings.app](body["params"])
+        # Retrieving the entire object costs time proportional to its
+        # accumulated update history (state-based CRDT).
+        history = sum(self.document_size(key) for key, _, _ in updates)
+        yield from self.cpu.serve(
+            perf.fabric_endorse + perf.fabriccrdt_merge_per_update * history
+        )
+        self.net.network.send(
+            Message(
+                sender=self.peer_id,
+                recipient=message.sender,
+                msg_type=MSG_ENDORSEMENT,
+                body={"txn_id": body["txn_id"], "updates": updates, "history": history},
+                size_bytes=300 + perf.fabriccrdt_bytes_per_update * history,
+            )
+        )
+
+    def _merge_block(self, message: Message):
+        perf = self.net.settings.perf
+        for txn in message.body["transactions"]:
+            history = sum(self.document_size(key) for key, _, _ in txn["updates"])
+            yield from self.cpu.serve(
+                perf.fabriccrdt_merge_base + perf.fabriccrdt_merge_per_update * history
+            )
+            for key, path, value in txn["updates"]:
+                self.document(key).update(
+                    path, value, txn["client_id"], txn["counter"]
+                )
+            self.committed += 1
+            if txn["event_peer"] == self.peer_id:
+                self.net.network.send(
+                    Message(
+                        sender=self.peer_id,
+                        recipient=txn["client_id"],
+                        msg_type=MSG_COMMIT_EVENT,
+                        body={"txn_id": txn["txn_id"], "valid": True},
+                        size_bytes=160,
+                    )
+                )
+
+    def _read(self, message: Message):
+        perf = self.net.settings.perf
+        yield from self.cpu.serve(perf.fabric_endorse)
+        value = read_value(self.documents, self.net.settings.app, message.body["params"])
+        self.net.network.send(
+            Message(
+                sender=self.peer_id,
+                recipient=message.sender,
+                msg_type=MSG_READ_RESPONSE,
+                body={"txn_id": message.body["txn_id"], "value": value},
+                size_bytes=220,
+            )
+        )
+
+
+class FabricCRDTClient:
+    """Endorse (retrieve object), order, await merge notification."""
+
+    def __init__(self, net: "FabricCRDTNetwork", client_id: str) -> None:
+        self.net = net
+        self.client_id = client_id
+        self.rng = net.rng.stream(f"client:{client_id}")
+        self._counter = 0
+        self._pending: Dict[str, Tuple[Event, List[Any], int]] = {}
+        self.committed = 0
+        self.failed = 0
+        net.network.register(client_id, self._on_message)
+
+    def _on_message(self, message: Message) -> None:
+        if message.corrupted:
+            return
+        if message.msg_type in (MSG_ENDORSEMENT, MSG_READ_RESPONSE, MSG_COMMIT_EVENT):
+            entry = self._pending.get(message.body["txn_id"])
+            if entry is None:
+                return
+            event, responses, needed = entry
+            responses.append(message.body)
+            if len(responses) >= needed and not event.triggered:
+                event.trigger(responses)
+
+    def _next_txn_id(self) -> str:
+        self._counter += 1
+        return f"{self.client_id}:{self._counter}"
+
+    def submit_modify(self, params: Dict[str, Any]):
+        sim = self.net.sim
+        settings = self.net.settings
+        txn_id = self._next_txn_id()
+        self.net.recorder.submitted(txn_id, self.client_id, "modify", sim.now)
+        peers = self.rng.sample(self.net.peer_ids, settings.quorum)
+        event = Event(sim)
+        self._pending[txn_id] = (event, [], settings.quorum)
+        for peer_id in peers:
+            self.net.network.send(
+                Message(
+                    sender=self.client_id,
+                    recipient=peer_id,
+                    msg_type=MSG_PROPOSAL,
+                    body={"txn_id": txn_id, "params": params},
+                    size_bytes=settings.perf.proposal_bytes,
+                )
+            )
+        winner = yield AnyOf(sim, [event, sim.timeout(30.0)])
+        _, endorsements, _ = self._pending.pop(txn_id)
+        if winner is not event or not endorsements:
+            self.failed += 1
+            self.net.recorder.failed(txn_id, sim.now, "endorsement timeout")
+            return False
+        endorsement = endorsements[0]
+        history = max(e["history"] for e in endorsements)
+        transaction = {
+            "txn_id": txn_id,
+            "client_id": self.client_id,
+            "counter": self._counter,
+            "updates": endorsement["updates"],
+            "event_peer": peers[0],
+        }
+        commit_event = Event(sim)
+        self._pending[txn_id] = (commit_event, [], 1)
+        # The transaction carries the whole (retrieved) object.
+        self.net.network.send(
+            Message(
+                sender=self.client_id,
+                recipient=ORDERER_ID,
+                msg_type=MSG_ORDER,
+                body=transaction,
+                size_bytes=400 + settings.perf.fabriccrdt_bytes_per_update * history,
+            )
+        )
+        winner = yield AnyOf(
+            sim, [commit_event, sim.timeout(settings.perf.fabriccrdt_timeout)]
+        )
+        _, events, _ = self._pending.pop(txn_id)
+        if winner is not commit_event or not events:
+            self.failed += 1
+            self.net.recorder.failed(txn_id, sim.now, "timeout (240s cap)")
+            return False
+        self.committed += 1
+        self.net.recorder.committed(txn_id, sim.now)
+        return True
+
+    def submit_read(self, params: Dict[str, Any]):
+        sim = self.net.sim
+        settings = self.net.settings
+        txn_id = self._next_txn_id()
+        self.net.recorder.submitted(txn_id, self.client_id, "read", sim.now)
+        peers = self.rng.sample(self.net.peer_ids, settings.quorum)
+        event = Event(sim)
+        self._pending[txn_id] = (event, [], settings.quorum)
+        for peer_id in peers:
+            self.net.network.send(
+                Message(
+                    sender=self.client_id,
+                    recipient=peer_id,
+                    msg_type=MSG_READ,
+                    body={"txn_id": txn_id, "params": params},
+                    size_bytes=settings.perf.proposal_bytes,
+                )
+            )
+        winner = yield AnyOf(sim, [event, sim.timeout(30.0)])
+        _, responses, _ = self._pending.pop(txn_id)
+        if winner is event:
+            self.committed += 1
+            self.net.recorder.committed(txn_id, sim.now)
+            return [r["value"] for r in responses]
+        self.failed += 1
+        self.net.recorder.failed(txn_id, sim.now, "read timeout")
+        return None
+
+
+class FabricCRDTNetwork:
+    """A built FabricCRDT network."""
+
+    def __init__(self, settings: FabricCRDTSettings) -> None:
+        self.settings = settings
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed=settings.seed)
+        self.network = Network(self.sim, self.rng.stream("net"), latency=settings.latency)
+        self.recorder = TransactionRecorder()
+        self.peers = [FabricCRDTPeer(self, f"peer{i}") for i in range(settings.num_orgs)]
+        self.peer_ids = [peer.peer_id for peer in self.peers]
+        self.clients: List[FabricCRDTClient] = []
+        self.orderer = BatchServer(
+            self.sim,
+            per_item=settings.perf.fabric_orderer_per_txn,
+            batch_timeout=settings.perf.fabric_batch_timeout,
+            max_batch=settings.perf.fabric_max_batch,
+            on_batch=self._broadcast_block,
+            name="fabriccrdt-orderer",
+        )
+        self.network.register(ORDERER_ID, self._orderer_receive)
+
+    def _orderer_receive(self, message: Message) -> None:
+        if message.corrupted or message.msg_type != MSG_ORDER:
+            return
+        self.orderer.enqueue(message.body)
+
+    def _broadcast_block(self, batch: Batch):
+        size = 200 + 150 * len(batch.items)
+        for peer_id in self.peer_ids:
+            self.network.send(
+                Message(
+                    sender=ORDERER_ID,
+                    recipient=peer_id,
+                    msg_type=MSG_BLOCK,
+                    body={"transactions": batch.items},
+                    size_bytes=size,
+                )
+            )
+        return
+        yield  # pragma: no cover - marks this as a generator for BatchServer
+
+    def add_client(self, name: Optional[str] = None) -> FabricCRDTClient:
+        client = FabricCRDTClient(self, name or f"client{len(self.clients)}")
+        self.clients.append(client)
+        return client
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    def converged(self) -> bool:
+        snapshots = [
+            {key: doc.snapshot() for key, doc in peer.documents.items()} for peer in self.peers
+        ]
+        return all(snapshot == snapshots[0] for snapshot in snapshots)
+
+
+__all__ = [
+    "FabricCRDTNetwork",
+    "FabricCRDTSettings",
+    "FabricCRDTClient",
+    "FabricCRDTPeer",
+]

@@ -1,0 +1,254 @@
+"""Sync HotStuff baseline: synchronous leader-based BFT SMR.
+
+Sync HotStuff (Abraham et al., S&P 2020) commits a block ``2Δ`` after
+it is proposed, where Δ is the assumed synchrony bound; the leader
+proposes every block and is therefore the throughput bottleneck ("the
+main bottleneck is the leader component in their coordination-based
+approach", Section 9).
+
+Pipeline modeled:
+
+1. clients send transactions to the leader;
+2. the leader batches them and broadcasts a proposal (its outgoing link
+   serializes the n copies);
+3. organizations vote on receipt, schedule their commit ``2Δ`` later
+   (the synchronous commit rule), apply the block in order, and the
+   event peer notifies the client.
+
+Reads are BFT reads through the same path — which is why the paper's
+Sync HotStuff read/modify latencies track each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.baselines.common import (
+    FABRIC_CONTRACTS,
+    Batch,
+    BatchServer,
+    Nic,
+    VersionedState,
+)
+from repro.core.perf import PerfModel
+from repro.core.recording import TransactionRecorder
+from repro.errors import ConfigError
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.core import Simulator
+from repro.sim.events import AnyOf, Event
+from repro.sim.resources import Resource
+from repro.sim.rng import RngRegistry
+
+MSG_SUBMIT = "hotstuff.submit"
+MSG_PROPOSE = "hotstuff.propose"
+MSG_VOTE = "hotstuff.vote"
+MSG_COMMIT_EVENT = "hotstuff.commit_event"
+
+LEADER_ID = "hotstuff-leader"
+
+TXN_BYTES = 190
+
+
+@dataclass
+class SyncHotStuffSettings:
+    num_orgs: int = 16
+    app: str = "voting"
+    seed: int = 0
+    perf: PerfModel = field(default_factory=PerfModel)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    commit_timeout: float = 240.0
+
+    def __post_init__(self) -> None:
+        if self.num_orgs < 2:
+            raise ConfigError(f"need at least 2 organizations, got {self.num_orgs}")
+        if self.app not in FABRIC_CONTRACTS:
+            raise ConfigError(f"unknown app {self.app!r}; choose from {sorted(FABRIC_CONTRACTS)}")
+
+
+class SyncHotStuffOrg:
+    """A replica: votes on proposals and commits 2Δ later."""
+
+    def __init__(self, net: "SyncHotStuffNetwork", org_id: str) -> None:
+        self.net = net
+        self.org_id = org_id
+        self.cpu = Resource(net.sim, capacity=net.settings.perf.vcpus)
+        self.state = VersionedState()
+        self.contract = FABRIC_CONTRACTS[net.settings.app]()
+        self.committed = 0
+        net.network.register(org_id, self._on_message)
+
+    def _on_message(self, message: Message) -> None:
+        if message.corrupted:
+            return
+        if message.msg_type == MSG_PROPOSE:
+            # Vote immediately; commit after the synchronous 2Δ wait.
+            self.net.network.send(
+                Message(
+                    sender=self.org_id,
+                    recipient=LEADER_ID,
+                    msg_type=MSG_VOTE,
+                    body={"batch_id": message.body["batch_id"]},
+                    size_bytes=120,
+                )
+            )
+            self.net.sim.process(self._commit_after_2delta(message), name=f"{self.org_id}.commit")
+
+    def _commit_after_2delta(self, message: Message):
+        perf = self.net.settings.perf
+        yield self.net.sim.timeout(2 * perf.hotstuff_delta)
+        for txn in message.body["transactions"]:
+            started = self.net.sim.now
+            yield from self.cpu.serve(perf.hotstuff_commit_per_txn)
+            if txn["kind"] == "read":
+                value = self.contract.read(self.state, txn["params"])
+            else:
+                _, write_set = self.contract.simulate(self.state, txn["params"])
+                self.state.apply_write_set(write_set)
+                value = True
+            self.committed += 1
+            if txn["event_peer"] == self.org_id:
+                self.net.network.send(
+                    Message(
+                        sender=self.org_id,
+                        recipient=txn["client_id"],
+                        msg_type=MSG_COMMIT_EVENT,
+                        body={"txn_id": txn["txn_id"], "value": value},
+                        size_bytes=200,
+                    )
+                )
+            self.net.recorder.phase("hotstuff/P2/Commit", self.net.sim.now - started)
+
+
+class SyncHotStuffClient:
+    """Sends transactions to the leader, awaits the commit event."""
+
+    def __init__(self, net: "SyncHotStuffNetwork", client_id: str) -> None:
+        self.net = net
+        self.client_id = client_id
+        self.rng = net.rng.stream(f"client:{client_id}")
+        self._counter = 0
+        self._pending: Dict[str, Event] = {}
+        self.committed = 0
+        self.failed = 0
+        net.network.register(client_id, self._on_message)
+
+    def _on_message(self, message: Message) -> None:
+        if message.corrupted or message.msg_type != MSG_COMMIT_EVENT:
+            return
+        event = self._pending.get(message.body["txn_id"])
+        if event is not None and not event.triggered:
+            event.trigger(message.body)
+
+    def _submit(self, kind: str, params: Dict[str, Any]):
+        sim = self.net.sim
+        self._counter += 1
+        txn_id = f"{self.client_id}:{self._counter}"
+        self.net.recorder.submitted(txn_id, self.client_id, kind, sim.now)
+        event = Event(sim)
+        self._pending[txn_id] = event
+        self.net.network.send(
+            Message(
+                sender=self.client_id,
+                recipient=LEADER_ID,
+                msg_type=MSG_SUBMIT,
+                body={
+                    "txn_id": txn_id,
+                    "client_id": self.client_id,
+                    "kind": kind,
+                    "params": params,
+                    "event_peer": self.rng.choice(self.net.org_ids),
+                },
+                size_bytes=TXN_BYTES,
+            )
+        )
+        winner = yield AnyOf(sim, [event, sim.timeout(self.net.settings.commit_timeout)])
+        del self._pending[txn_id]
+        if winner is event:
+            self.committed += 1
+            self.net.recorder.committed(txn_id, sim.now)
+            return winner.value.get("value", True) if isinstance(winner.value, dict) else True
+        self.failed += 1
+        self.net.recorder.failed(txn_id, sim.now, "timeout")
+        return None
+
+    def submit_modify(self, params: Dict[str, Any]):
+        return self._submit("modify", params)
+
+    def submit_read(self, params: Dict[str, Any]):
+        return self._submit("read", params)
+
+
+class SyncHotStuffNetwork:
+    """A built Sync HotStuff network: leader + replicas + clients."""
+
+    def __init__(self, settings: SyncHotStuffSettings) -> None:
+        self.settings = settings
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed=settings.seed)
+        self.network = Network(self.sim, self.rng.stream("net"), latency=settings.latency)
+        self.recorder = TransactionRecorder()
+        self.orgs = [SyncHotStuffOrg(self, f"org{i}") for i in range(settings.num_orgs)]
+        self.org_ids = [org.org_id for org in self.orgs]
+        self.clients: List[SyncHotStuffClient] = []
+        self._batch_counter = 0
+        self._submit_arrivals: Dict[str, float] = {}
+        self.leader_nic = Nic(self.sim, settings.latency.bandwidth_bytes_per_s)
+        self.leader = BatchServer(
+            self.sim,
+            per_item=settings.perf.hotstuff_leader_per_txn,
+            batch_timeout=settings.perf.hotstuff_batch_interval,
+            max_batch=100000,
+            on_batch=self._propose_batch,
+            name="hotstuff-leader",
+        )
+        self.network.register(LEADER_ID, self._leader_receive)
+
+    def _leader_receive(self, message: Message) -> None:
+        if message.corrupted:
+            return
+        if message.msg_type == MSG_SUBMIT:
+            self._submit_arrivals[message.body["txn_id"]] = self.sim.now
+            self.leader.enqueue(message.body)
+        # Votes are collected implicitly: under synchrony every correct
+        # replica votes, and commit is time-driven (2Δ), so the leader
+        # does not gate progress on them.
+
+    def _propose_batch(self, batch: Batch):
+        self._batch_counter += 1
+        batch_bytes = 200 + TXN_BYTES * len(batch.items)
+        yield from self.leader_nic.transmit(batch_bytes * len(self.org_ids))
+        now = self.sim.now
+        for txn in batch.items:
+            arrived = self._submit_arrivals.pop(txn["txn_id"], now)
+            # Leader-side consensus latency: queueing + batching + NIC.
+            self.recorder.phase("hotstuff/P1/Consensus", now - arrived)
+        proposal = {"batch_id": self._batch_counter, "transactions": batch.items}
+        for org_id in self.org_ids:
+            self.network.send(
+                Message(
+                    sender=LEADER_ID,
+                    recipient=org_id,
+                    msg_type=MSG_PROPOSE,
+                    body=proposal,
+                    size_bytes=batch_bytes,
+                )
+            )
+
+    def add_client(self, name: Optional[str] = None) -> SyncHotStuffClient:
+        client = SyncHotStuffClient(self, name or f"client{len(self.clients)}")
+        self.clients.append(client)
+        return client
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+
+__all__ = [
+    "SyncHotStuffNetwork",
+    "SyncHotStuffSettings",
+    "SyncHotStuffClient",
+    "SyncHotStuffOrg",
+]

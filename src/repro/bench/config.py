@@ -1,0 +1,112 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` describes a single run of one system on
+one application at one operating point — the unit every figure sweeps
+over. The defaults are the paper's defaults (Table 2); ``scale``
+applies the utilization-preserving scale-down described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.core.perf import PerfModel
+from repro.errors import ConfigError
+
+SYSTEMS = ("orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff")
+APPS = ("synthetic", "voting", "auction")
+
+
+def default_scale() -> float:
+    """Benchmark scale factor; ``REPRO_BENCH_SCALE=1`` is paper scale."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "20"))
+
+
+@dataclass(frozen=True)
+class ByzantineWindow:
+    """Organizations ``count`` behave Byzantine during [start, end)."""
+
+    count: int
+    start: float
+    end: Optional[float]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that defines one experiment run."""
+
+    system: str = "orderlesschain"
+    app: str = "synthetic"
+    # Workload (paper-scale numbers; divided by `scale` at run time).
+    arrival_rate: float = 3000.0  # tps, total across all clients
+    num_clients: int = 1000
+    duration: float = 180.0
+    modify_ratio: float = 0.5  # Table 2's R50M50 default
+    # Topology / trust.
+    num_orgs: int = 16
+    quorum: int = 4
+    # Synthetic-application control variables (Table 2, rows 4-6).
+    obj_count: int = 1
+    ops_per_obj: int = 1
+    crdt_type: str = "gcounter"
+    object_pool: int = 64
+    # Voting / auction parameters (Section 9).
+    elections: int = 8
+    parties: int = 8
+    auctions: int = 8
+    # OrderlessChain knobs.
+    gossip_interval: float = 1.0
+    gossip_fanout: int = 1
+    cache_enabled: bool = True
+    max_retries: int = 0
+    avoid_byzantine: bool = False
+    # Workload skew (Table 2 row 8): None = uniform; otherwise relative
+    # per-organization weights.
+    org_weights: Optional[Tuple[float, ...]] = None
+    # Byzantine failures (Table 2 rows 10-12).
+    byzantine_org_windows: Tuple[ByzantineWindow, ...] = ()
+    byzantine_client_fraction: float = 0.0
+    byzantine_client_faults: Tuple[str, ...] = ("proposal_only",)
+    # Mechanics.
+    seed: int = 0
+    scale: float = field(default_factory=default_scale)
+    drain: float = 8.0  # extra simulated time to let in-flight txns land
+    timeline_bucket: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ConfigError(f"unknown system {self.system!r}; choose from {SYSTEMS}")
+        if self.app not in APPS:
+            raise ConfigError(f"unknown app {self.app!r}; choose from {APPS}")
+        if not 0 < self.quorum <= self.num_orgs:
+            raise ConfigError(f"need 0 < q <= n, got q={self.quorum}, n={self.num_orgs}")
+        if not 0.0 <= self.modify_ratio <= 1.0:
+            raise ConfigError(f"modify_ratio must be in [0,1], got {self.modify_ratio}")
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale}")
+        if not 0.0 <= self.byzantine_client_fraction <= 1.0:
+            raise ConfigError(
+                f"byzantine_client_fraction must be in [0,1], got {self.byzantine_client_fraction}"
+            )
+
+    # -- derived, scale-adjusted quantities --------------------------------
+
+    @property
+    def effective_rate(self) -> float:
+        return self.arrival_rate / self.scale
+
+    @property
+    def effective_clients(self) -> int:
+        return max(4, round(self.num_clients / self.scale))
+
+    def perf(self) -> PerfModel:
+        return PerfModel().scaled(self.scale)
+
+    def with_(self, **kwargs) -> "ExperimentConfig":
+        """A copy with some fields replaced (sweep helper)."""
+        return replace(self, **kwargs)
+
+
+__all__ = ["ExperimentConfig", "ByzantineWindow", "SYSTEMS", "APPS", "default_scale"]

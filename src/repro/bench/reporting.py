@@ -1,0 +1,106 @@
+"""Plain-text reporting of experiment results.
+
+Each benchmark prints the rows/series the paper's figures and tables
+plot, in a fixed-width layout that is easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.bench.metrics import ExperimentResult
+
+
+def _fmt(value: object, width: int = 9) -> str:
+    if value is None:
+        return " " * (width - 1) + "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return " " * (width - 1) + "-"
+        return f"{value:>{width}.1f}"
+    return f"{value!s:>{width}}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    lines = ["  ".join(f"{h:>9}" for h in headers)]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(_fmt(cell) for cell in row))
+    return "\n".join(lines)
+
+
+def format_sweep(
+    title: str,
+    x_label: str,
+    results: Sequence[tuple[object, ExperimentResult]],
+) -> str:
+    """One figure panel: x value vs throughput and latency series."""
+    headers = [
+        x_label,
+        "tput",
+        "tput_mod",
+        "tput_rd",
+        "lat_mod",
+        "lat_rd",
+        "p1_mod",
+        "p99_mod",
+        "failed",
+    ]
+    rows = []
+    for x_value, result in results:
+        rows.append(
+            [
+                x_value,
+                result.throughput_tps,
+                result.throughput_modify_tps,
+                result.throughput_read_tps,
+                result.latency_modify.avg_ms,
+                result.latency_read.avg_ms,
+                result.latency_modify.p1_ms,
+                result.latency_modify.p99_ms,
+                result.failed,
+            ]
+        )
+    return f"== {title} ==\n(latencies in ms; throughput in paper-scale tps)\n" + format_table(
+        headers, rows
+    )
+
+
+def format_comparison(
+    title: str,
+    x_label: str,
+    series: Dict[str, Sequence[tuple[object, ExperimentResult]]],
+) -> str:
+    """A multi-system figure: one block per system."""
+    blocks = [f"== {title} =="]
+    for system, results in series.items():
+        blocks.append(format_sweep(system, x_label, results))
+    return "\n\n".join(blocks)
+
+
+def format_timeline(title: str, result: ExperimentResult) -> str:
+    """Figure 8-style committed-throughput-over-time series."""
+    headers = ["t_start", "tput_tps"]
+    rows = [[start, tps] for start, tps in result.timeline]
+    return f"== {title} ==\n" + format_table(headers, rows)
+
+
+def format_breakdown(title: str, phase_means_ms: Dict[str, float]) -> str:
+    """Table 3-style phase breakdown."""
+    headers = ["phase", "mean_ms"]
+    rows = [[name, mean] for name, mean in sorted(phase_means_ms.items())]
+    lines = [f"== {title} =="]
+    for name, mean in sorted(phase_means_ms.items()):
+        lines.append(f"  {name:<40} {mean:>10.1f} ms")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "format_breakdown",
+    "format_comparison",
+    "format_sweep",
+    "format_table",
+    "format_timeline",
+]

@@ -1,0 +1,285 @@
+"""The experiment runner: build a system, drive a workload, measure.
+
+``run_experiment(config)`` dispatches on ``config.system``, builds the
+corresponding network, submits the configured workload uniformly over
+``config.duration`` simulated seconds, lets in-flight transactions
+drain, and summarizes the recorder into an
+:class:`~repro.bench.metrics.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+from repro.baselines.bidl import BIDLNetwork, BIDLSettings
+from repro.baselines.fabric import FabricNetwork, FabricSettings
+from repro.baselines.fabric_crdt import FabricCRDTNetwork, FabricCRDTSettings
+from repro.baselines.sync_hotstuff import SyncHotStuffNetwork, SyncHotStuffSettings
+from repro.bench.config import ExperimentConfig
+from repro.bench.metrics import ExperimentResult, compute_result
+from repro.bench.workload import AppWorkload, make_workload
+from repro.contracts.auction import AuctionContract
+from repro.contracts.synthetic import SyntheticContract
+from repro.contracts.voting import VotingContract
+from repro.core.byzantine import ByzantineClientConfig
+from repro.core.client import ClientConfig
+from repro.core.recording import TransactionRecorder
+from repro.core.system import OrderlessChainNetwork, OrderlessChainSettings
+from repro.errors import ConfigError
+from repro.sim.core import Simulator
+
+
+def _drive(
+    sim: Simulator,
+    rng: random.Random,
+    clients: Sequence[object],
+    submit: Callable[[object, str], object],
+    rate: float,
+    duration: float,
+    modify_ratio: float,
+) -> None:
+    """Submit transactions uniformly spaced at ``rate`` tps."""
+    if rate <= 0:
+        raise ConfigError(f"arrival rate must be positive, got {rate}")
+    interval = 1.0 / rate
+
+    def driver():
+        index = 0
+        while sim.now < duration:
+            client = clients[index % len(clients)]
+            kind = "modify" if rng.random() < modify_ratio else "read"
+            sim.process(submit(client, kind), name=f"txn{index}")
+            index += 1
+            yield sim.timeout(interval)
+
+    sim.process(driver(), name="workload-driver")
+
+
+# -- OrderlessChain ----------------------------------------------------------
+
+
+def _orderless_contract_factory(config: ExperimentConfig) -> Callable[[], object]:
+    if config.app == "synthetic":
+        return SyntheticContract
+    if config.app == "voting":
+        return lambda: VotingContract(parties_per_election=config.parties)
+    return AuctionContract
+
+
+def _run_orderlesschain(config: ExperimentConfig, workload: AppWorkload) -> TransactionRecorder:
+    settings = OrderlessChainSettings(
+        num_orgs=config.num_orgs,
+        quorum=config.quorum,
+        seed=config.seed,
+        perf=config.perf(),
+        gossip_interval=config.gossip_interval,
+        gossip_fanout=config.gossip_fanout,
+        cache_enabled=config.cache_enabled,
+        client_config=ClientConfig(
+            max_retries=config.max_retries,
+            avoid_byzantine=config.avoid_byzantine,
+            org_weights=config.org_weights,
+        ),
+    )
+    net = OrderlessChainNetwork(settings)
+    net.install_contract(_orderless_contract_factory(config))
+    total_clients = config.effective_clients
+    byzantine_clients = round(config.byzantine_client_fraction * total_clients)
+    byz_config = (
+        ByzantineClientConfig(faults=frozenset(config.byzantine_client_faults))
+        if byzantine_clients
+        else None
+    )
+    for index in range(total_clients):
+        net.add_client(byzantine=byz_config if index < byzantine_clients else None)
+    for window in config.byzantine_org_windows:
+        net.schedule_byzantine_window(
+            net.org_ids[: window.count], window.start, window.end
+        )
+    workload_rng = net.rng.stream("workload")
+
+    def submit(client, kind):
+        if kind == "modify":
+            contract_id, function, params = workload.orderless_modify(
+                workload_rng, client.client_id
+            )
+            return client.submit_modify(contract_id, function, params)
+        contract_id, function, params = workload.orderless_read(workload_rng, client.client_id)
+        return client.submit_read(contract_id, function, params)
+
+    net.start()
+    _drive(
+        net.sim,
+        workload_rng,
+        net.clients,
+        submit,
+        config.effective_rate,
+        config.duration,
+        config.modify_ratio,
+    )
+    net.run(until=config.duration + config.drain)
+    # The CRDT-cache lock section is CPU work executing on one core
+    # (the paper attributes OrderlessChain's higher CPU utilization to
+    # "applying the CRDT operations to the cache"), so it counts toward
+    # the organization's CPU busy time.
+    def _org_utilization(org):
+        cores = org.cpu.capacity
+        return min(
+            1.0,
+            org.cpu.utilization() + org.cache_lock.utilization() / cores,
+        )
+
+    utilization = sum(_org_utilization(org) for org in net.organizations) / len(
+        net.organizations
+    )
+    return net.recorder, {"mean_org_cpu_utilization": utilization}
+
+
+# -- baselines ------------------------------------------------------------------
+
+
+def _baseline_submit(workload: AppWorkload, workload_rng: random.Random):
+    def submit(client, kind):
+        if kind == "modify":
+            return client.submit_modify(workload.baseline_modify(workload_rng, client.client_id))
+        return client.submit_read(workload.baseline_read(workload_rng, client.client_id))
+
+    return submit
+
+
+def _run_fabric(config: ExperimentConfig, workload: AppWorkload) -> TransactionRecorder:
+    net = FabricNetwork(
+        FabricSettings(
+            num_orgs=config.num_orgs,
+            quorum=config.quorum,
+            app=config.app,
+            seed=config.seed,
+            perf=config.perf(),
+        )
+    )
+    for _ in range(config.effective_clients):
+        net.add_client()
+    workload_rng = net.rng.stream("workload")
+    _drive(
+        net.sim,
+        workload_rng,
+        net.clients,
+        _baseline_submit(workload, workload_rng),
+        config.effective_rate,
+        config.duration,
+        config.modify_ratio,
+    )
+    net.run(until=config.duration + config.drain)
+    return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(p.cpu for p in net.peers)}
+
+
+def _run_fabriccrdt(config: ExperimentConfig, workload: AppWorkload) -> TransactionRecorder:
+    net = FabricCRDTNetwork(
+        FabricCRDTSettings(
+            num_orgs=config.num_orgs,
+            quorum=config.quorum,
+            app=config.app,
+            seed=config.seed,
+            perf=config.perf(),
+        )
+    )
+    for _ in range(config.effective_clients):
+        net.add_client()
+    workload_rng = net.rng.stream("workload")
+    _drive(
+        net.sim,
+        workload_rng,
+        net.clients,
+        _baseline_submit(workload, workload_rng),
+        config.effective_rate,
+        config.duration,
+        config.modify_ratio,
+    )
+    net.run(until=config.duration + config.drain)
+    return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(p.cpu for p in net.peers)}
+
+
+def _run_bidl(config: ExperimentConfig, workload: AppWorkload) -> TransactionRecorder:
+    net = BIDLNetwork(
+        BIDLSettings(
+            num_orgs=config.num_orgs,
+            app=config.app,
+            seed=config.seed,
+            perf=config.perf(),
+        )
+    )
+    for _ in range(config.effective_clients):
+        net.add_client()
+    workload_rng = net.rng.stream("workload")
+    _drive(
+        net.sim,
+        workload_rng,
+        net.clients,
+        _baseline_submit(workload, workload_rng),
+        config.effective_rate,
+        config.duration,
+        config.modify_ratio,
+    )
+    net.run(until=config.duration + config.drain)
+    return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(o.cpu for o in net.orgs)}
+
+
+def _run_synchotstuff(config: ExperimentConfig, workload: AppWorkload) -> TransactionRecorder:
+    net = SyncHotStuffNetwork(
+        SyncHotStuffSettings(
+            num_orgs=config.num_orgs,
+            app=config.app,
+            seed=config.seed,
+            perf=config.perf(),
+        )
+    )
+    for _ in range(config.effective_clients):
+        net.add_client()
+    workload_rng = net.rng.stream("workload")
+    _drive(
+        net.sim,
+        workload_rng,
+        net.clients,
+        _baseline_submit(workload, workload_rng),
+        config.effective_rate,
+        config.duration,
+        config.modify_ratio,
+    )
+    net.run(until=config.duration + config.drain)
+    return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(o.cpu for o in net.orgs)}
+
+
+_RUNNERS = {
+    "orderlesschain": _run_orderlesschain,
+    "fabric": _run_fabric,
+    "fabriccrdt": _run_fabriccrdt,
+    "bidl": _run_bidl,
+    "synchotstuff": _run_synchotstuff,
+}
+
+
+def _mean_cpu_utilization(cpus) -> float:
+    """Mean CPU utilization across a set of node CPU resources."""
+    values = [cpu.utilization() for cpu in cpus]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment and summarize its metrics."""
+    workload = make_workload(config)
+    recorder, extra = _RUNNERS[config.system](config, workload)
+    return compute_result(
+        recorder,
+        system=config.system,
+        app=config.app,
+        arrival_rate=config.arrival_rate,
+        scale=config.scale,
+        timeline_bucket=config.timeline_bucket,
+        extra=extra,
+    )
+
+
+__all__ = ["run_experiment"]

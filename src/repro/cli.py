@@ -1,0 +1,229 @@
+"""Command-line interface: run experiments and demos from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig6a --duration 15 --scale 20
+    python -m repro run table3
+    python -m repro run fig9 --app auction
+    python -m repro check-iconfluence voting
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.bench import experiments, export
+from repro.bench.reporting import (
+    format_breakdown,
+    format_comparison,
+    format_sweep,
+    format_timeline,
+)
+
+# Experiment id -> (description, runner(args) -> printable string).
+
+
+def _run_fig6a(args):
+    results = experiments.fig6a_arrival_rate(
+        duration=args.duration, scale=args.scale, seed=args.seed
+    )
+    return (
+        format_sweep("Figure 6(a): transaction arrival rate", "rate", results),
+        export.sweep_to_records(results, "rate"),
+    )
+
+
+def _run_fig6b(args):
+    results = experiments.fig6b_organizations(
+        duration=args.duration, scale=args.scale, seed=args.seed
+    )
+    return (
+        format_sweep("Figure 6(b): number of organizations", "orgs", results),
+        export.sweep_to_records(results, "orgs"),
+    )
+
+
+def _run_fig6c(args):
+    results = experiments.fig6c_endorsement_policy(
+        duration=args.duration, scale=args.scale, seed=args.seed
+    )
+    return (
+        format_sweep("Figure 6(c): endorsement policy", "EP", results),
+        export.sweep_to_records(results, "EP"),
+    )
+
+
+def _run_fig6d(args):
+    results = experiments.fig6d_object_count(
+        duration=args.duration, scale=args.scale, seed=args.seed
+    )
+    return (
+        format_sweep("Figure 6(d): objects per transaction", "objects", results),
+        export.sweep_to_records(results, "objects"),
+    )
+
+
+def _run_fig7(args):
+    series = experiments.fig7_latency_vs_throughput(
+        duration=args.duration, scale=args.scale, seed=args.seed
+    )
+    return (
+        format_comparison("Figure 7: latency vs throughput", "rate", series),
+        export.comparison_to_records(series, "rate"),
+    )
+
+
+def _run_fig8a(args):
+    result = experiments.fig8_byzantine_orgs(
+        avoidance=False, duration=max(60.0, args.duration), scale=args.scale, seed=args.seed
+    )
+    return (
+        format_timeline("Figure 8(a): Byzantine organizations (no avoidance)", result),
+        export.result_to_record(result),
+    )
+
+
+def _run_fig8b(args):
+    result = experiments.fig8_byzantine_orgs(
+        avoidance=True, duration=max(60.0, args.duration), scale=args.scale, seed=args.seed
+    )
+    return (
+        format_timeline("Figure 8(b): Byzantine organizations (avoidance)", result),
+        export.result_to_record(result),
+    )
+
+
+def _run_fig9(args):
+    series = experiments.fig9_comparison(
+        args.app, duration=args.duration, scale=args.scale, seed=args.seed
+    )
+    return (
+        format_comparison(f"Figure 9: {args.app} vs Fabric/FabricCRDT", "rate", series),
+        export.comparison_to_records(series, "rate"),
+    )
+
+
+def _run_fig10(args):
+    series = experiments.fig10_comparison(
+        args.app, duration=args.duration, scale=args.scale, seed=args.seed
+    )
+    return (
+        format_comparison(f"Figure 10: {args.app} vs BIDL/Sync HotStuff", "rate", series),
+        export.comparison_to_records(series, "rate"),
+    )
+
+
+def _run_table3(args):
+    rows = experiments.table3_breakdown(duration=args.duration, scale=args.scale, seed=args.seed)
+    text = "\n\n".join(
+        format_breakdown(f"Table 3 - {system}", phases) for system, phases in rows.items()
+    )
+    return text, rows
+
+
+EXPERIMENTS: Dict[str, tuple[str, Callable]] = {
+    "fig6a": ("synthetic arrival-rate sweep", _run_fig6a),
+    "fig6b": ("synthetic organization sweep", _run_fig6b),
+    "fig6c": ("synthetic endorsement-policy sweep", _run_fig6c),
+    "fig6d": ("synthetic objects-per-transaction sweep", _run_fig6d),
+    "fig7": ("latency vs throughput, 16/24/32 orgs", _run_fig7),
+    "fig8a": ("Byzantine organizations, no avoidance", _run_fig8a),
+    "fig8b": ("Byzantine organizations, clients avoid", _run_fig8b),
+    "fig9": ("voting/auction vs Fabric & FabricCRDT", _run_fig9),
+    "fig10": ("voting/auction vs BIDL & Sync HotStuff", _run_fig10),
+    "table3": ("transaction processing time breakdown", _run_table3),
+}
+
+
+def _cmd_list(args) -> int:
+    print("available experiments:")
+    for name, (description, _) in EXPERIMENTS.items():
+        print(f"  {name:<8} {description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    _, runner = EXPERIMENTS[args.experiment]
+    text, payload = runner(args)
+    print(text)
+    if args.output:
+        export.to_json(payload, path=args.output)
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_check_iconfluence(args) -> int:
+    from repro.contracts import AuctionContract, VotingContract
+    from repro.tools import check_iconfluence
+
+    if args.contract == "voting":
+        contract = VotingContract(parties_per_election=3)
+        invocations = [
+            (f"voter{i}", "vote", {"party": f"party{i % 3}", "election": "e"}) for i in range(6)
+        ] + [("voter0", "vote", {"party": "party1", "election": "e"})]
+
+        def invariant(store):
+            counted = 0
+            for party in range(3):
+                party_map = store.read(f"voting/e/party{party}") or {}
+                counted += sum(1 for value in party_map.values() if value is True)
+            return counted <= 6
+    else:
+        contract = AuctionContract()
+        invocations = [
+            (f"bidder{i % 3}", "bid", {"auction": "a", "amount": 5 + i}) for i in range(6)
+        ]
+
+        def invariant(store):
+            book = store.read("auction/a") or {}
+            return all(isinstance(v, (int, float)) and v > 0 for v in book.values())
+
+    report = check_iconfluence(contract, invocations, invariant, trials=args.trials)
+    print(f"contract:            {contract.contract_id}")
+    print(f"transactions:        {report.write_set_count}")
+    print(f"interleavings tried: {report.trials}")
+    print(f"convergent:          {report.convergent}")
+    print(f"invariant preserved: {report.invariant_preserved}")
+    if report.violation:
+        print(f"violation:           {report.violation}")
+    return 0 if report.i_confluent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OrderlessChain reproduction - experiment runner",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments").set_defaults(func=_cmd_list)
+
+    run = subparsers.add_parser("run", help="run one experiment and print its figure/table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--app", choices=["voting", "auction"], default="voting")
+    run.add_argument("--duration", type=float, default=15.0, help="simulated seconds per run")
+    run.add_argument("--scale", type=float, default=None, help="scale-down factor (default: env)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--output", default=None, help="write the figure data as JSON")
+    run.set_defaults(func=_cmd_run)
+
+    check = subparsers.add_parser(
+        "check-iconfluence", help="empirically check a demo contract's I-confluence"
+    )
+    check.add_argument("contract", choices=["voting", "auction"])
+    check.add_argument("--trials", type=int, default=50)
+    check.set_defaults(func=_cmd_check_iconfluence)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

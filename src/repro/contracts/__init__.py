@@ -1,0 +1,26 @@
+"""Smart contracts built on the Smart Contract Library.
+
+The paper implements eleven smart contracts across five applications;
+this package contains the OrderlessChain versions: the synthetic
+evaluation contract (Section 9), the voting and auction applications
+(Section 5), and the three proof-of-concept applications mentioned in
+the discussion — the IoT supply chain, the distributed file storage
+(OrderlessFile), and the federated-learning registry (OrderlessFL).
+The baselines' read/write-set contracts live in ``repro.baselines``.
+"""
+
+from repro.contracts.auction import AuctionContract
+from repro.contracts.federated_learning import FederatedLearningContract
+from repro.contracts.file_storage import FileStorageContract
+from repro.contracts.supply_chain import SupplyChainContract
+from repro.contracts.synthetic import SyntheticContract
+from repro.contracts.voting import VotingContract
+
+__all__ = [
+    "AuctionContract",
+    "FederatedLearningContract",
+    "FileStorageContract",
+    "SupplyChainContract",
+    "SyntheticContract",
+    "VotingContract",
+]

@@ -1,0 +1,74 @@
+"""Federated-learning model registry (the OrderlessFL PoC).
+
+Trainers publish model updates for a training round; each trainer's
+update lands under its own key (no conflicts across trainers), and a
+G-Counter tracks how many updates a round has received. An aggregator
+reads a round's updates and averages them — a commutative, I-confluent
+workflow: the aggregate is independent of the order in which updates
+arrived.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.contract import (
+    ContractContext,
+    SmartContract,
+    modify_function,
+    read_function,
+)
+from repro.errors import ContractError
+
+
+def model_object_id(model: str) -> str:
+    return f"orderlessfl/{model}"
+
+
+class FederatedLearningContract(SmartContract):
+    """Publish and aggregate per-round model updates."""
+
+    contract_id = "federated_learning"
+
+    @modify_function
+    def submit_update(
+        self, ctx: ContractContext, model: str, round_id: int, weights: Sequence[float]
+    ) -> None:
+        """Publish this trainer's update for ``round_id``."""
+        if not weights:
+            raise ContractError("weights must be non-empty")
+        ctx.assign_value(
+            model_object_id(model),
+            list(float(w) for w in weights),
+            path=("rounds", str(round_id), ctx.client_id),
+        )
+        ctx.add_value(model_object_id(model), 1, path=("progress", str(round_id)))
+
+    @read_function
+    def round_updates(self, ctx: ContractContext, model: str, round_id: int) -> Dict[str, Any]:
+        """All updates submitted for a round, keyed by trainer."""
+        updates = ctx.state.read(model_object_id(model), ("rounds", str(round_id)))
+        return updates if isinstance(updates, dict) else {}
+
+    @read_function
+    def aggregate(self, ctx: ContractContext, model: str, round_id: int) -> Optional[List[float]]:
+        """Federated average of the round's updates (order-independent)."""
+        updates = ctx.state.read(model_object_id(model), ("rounds", str(round_id)))
+        if not isinstance(updates, dict) or not updates:
+            return None
+        vectors = [v for v in updates.values() if isinstance(v, list)]
+        if not vectors:
+            return None
+        width = min(len(v) for v in vectors)
+        return [
+            sum(vector[i] for vector in vectors) / len(vectors) for i in range(width)
+        ]
+
+    @read_function
+    def round_progress(self, ctx: ContractContext, model: str, round_id: int) -> int:
+        """How many updates the round has received."""
+        count = ctx.state.read(model_object_id(model), ("progress", str(round_id)))
+        return int(count) if isinstance(count, (int, float)) else 0
+
+
+__all__ = ["FederatedLearningContract", "model_object_id"]

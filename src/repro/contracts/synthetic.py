@@ -1,0 +1,66 @@
+"""The synthetic evaluation application (Section 9).
+
+``Modify(ClientId, Clock, ObjCount, OpsPerObjCount, CRDTType)`` writes
+``ObjCount × OpsPerObjCount`` operations across ``ObjCount`` objects of
+the requested CRDT type; ``Read(ObjCount)`` reads that many objects.
+The client id and clock arrive through the execution context, so the
+contract functions take the remaining parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.core.contract import (
+    ContractContext,
+    SmartContract,
+    modify_function,
+    read_function,
+)
+from repro.crdt.operation import TYPE_GCOUNTER, TYPE_MAP, TYPE_MVREGISTER
+from repro.errors import ContractError
+
+
+def synthetic_object_id(index: int) -> str:
+    return f"synthetic/obj{index}"
+
+
+class SyntheticContract(SmartContract):
+    """Parameterized contract for controlled evaluation."""
+
+    contract_id = "synthetic"
+
+    @modify_function
+    def modify(
+        self,
+        ctx: ContractContext,
+        object_indexes: Sequence[int],
+        ops_per_object: int,
+        crdt_type: str,
+    ) -> None:
+        """Emit ``len(object_indexes) * ops_per_object`` operations."""
+        if ops_per_object < 1:
+            raise ContractError(f"ops_per_object must be >= 1, got {ops_per_object}")
+        for object_index in object_indexes:
+            object_id = synthetic_object_id(object_index)
+            for op_index in range(ops_per_object):
+                if crdt_type == TYPE_GCOUNTER:
+                    ctx.add_value(object_id, 1)
+                elif crdt_type == TYPE_MVREGISTER:
+                    ctx.assign_value(object_id, f"{ctx.client_id}:{ctx.clock.counter}:{op_index}")
+                elif crdt_type == TYPE_MAP:
+                    ctx.insert_value(
+                        object_id,
+                        key=f"{ctx.client_id}/{op_index}",
+                        value=ctx.clock.counter,
+                    )
+                else:
+                    raise ContractError(f"unknown CRDT type {crdt_type!r}")
+
+    @read_function
+    def read(self, ctx: ContractContext, object_indexes: Sequence[int]) -> List[Any]:
+        """Read the listed objects' resolved values."""
+        return [ctx.state.read(synthetic_object_id(index)) for index in object_indexes]
+
+
+__all__ = ["SyntheticContract", "synthetic_object_id"]

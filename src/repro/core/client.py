@@ -1,0 +1,352 @@
+"""An OrderlessChain client (Section 4's transaction lifecycle).
+
+A client submits a proposal to ``q`` organizations, collects
+endorsements, checks that all endorsed write-sets are identical,
+assembles and signs the transaction, sends it to ``q`` organizations,
+and waits for ``q`` receipts. Clients keep a Lamport clock that is
+incremented with every submitted proposal (Section 6).
+
+Clients can be configured to be Byzantine (the four fault types of
+Section 8) and, for Figure 8(b), to observe and avoid Byzantine
+organizations: organizations that do not respond or whose endorsements
+disagree with the majority get blacklisted and replaced on retry.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.byzantine import ByzantineClientConfig
+from repro.core.organization import (
+    MSG_COMMIT,
+    MSG_ENDORSEMENT,
+    MSG_PROPOSAL,
+    MSG_READ,
+    MSG_READ_RESPONSE,
+    MSG_RECEIPT,
+)
+from repro.core.perf import PerfModel
+from repro.core.policy import EndorsementPolicy
+from repro.core.recording import TransactionRecorder
+from repro.core.transaction import (
+    Endorsement,
+    Proposal,
+    Receipt,
+    Transaction,
+    write_set_digest,
+)
+from repro.crdt.clock import LamportClock
+from repro.crypto.identity import Identity
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.core import Simulator
+from repro.sim.events import AnyOf, Event
+
+
+@dataclass
+class ClientConfig:
+    """Client-side protocol knobs."""
+
+    proposal_timeout: float = 3.0
+    commit_timeout: float = 3.0
+    read_timeout: float = 3.0
+    max_retries: int = 0
+    avoid_byzantine: bool = False  # Figure 8(b): blacklist misbehaving orgs
+    org_weights: Optional[Sequence[float]] = None  # config 8: skewed load
+
+
+class _Pending:
+    """Responses collected for one in-flight request.
+
+    Responses are deduplicated by sender so a duplicated message (the
+    Section 3 failure model allows duplication in transit) cannot
+    satisfy the quorum with fewer distinct organizations.
+    """
+
+    def __init__(self, sim: Simulator, needed: int) -> None:
+        self.needed = needed
+        self.responses: List[Any] = []
+        self._senders: set = set()
+        self.event = Event(sim)
+
+    def add(self, response: Any, sender: Any = None) -> None:
+        if sender is not None:
+            if sender in self._senders:
+                return
+            self._senders.add(sender)
+        self.responses.append(response)
+        if len(self.responses) >= self.needed and not self.event.triggered:
+            self.event.trigger(self.responses)
+
+
+class Client:
+    """One client node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        identity: Identity,
+        policy: EndorsementPolicy,
+        org_ids: Sequence[str],
+        perf: PerfModel,
+        rng: random.Random,
+        recorder: Optional[TransactionRecorder] = None,
+        config: Optional[ClientConfig] = None,
+        byzantine: Optional[ByzantineClientConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.identity = identity
+        self.policy = policy
+        self.org_ids = list(org_ids)
+        self.perf = perf
+        self.rng = rng
+        self.recorder = recorder
+        self.config = config or ClientConfig()
+        self.byzantine = byzantine
+        self.clock = LamportClock(identity.identifier)
+        self.blacklist: set[str] = set()
+        self._pending_endorsements: Dict[str, _Pending] = {}
+        self._pending_receipts: Dict[str, _Pending] = {}
+        self._pending_reads: Dict[str, _Pending] = {}
+        self.committed = 0
+        self.failed = 0
+        network.register(self.client_id, self._on_message)
+
+    @property
+    def client_id(self) -> str:
+        return self.identity.identifier
+
+    # -- message handling ------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        if message.corrupted:
+            return  # garbage fails the transport integrity check
+        if message.msg_type == MSG_ENDORSEMENT:
+            endorsement = Endorsement.from_wire(message.body)
+            pending = self._pending_endorsements.get(endorsement.proposal_id)
+            if pending is not None:
+                pending.add(endorsement, sender=endorsement.org_id)
+        elif message.msg_type == MSG_RECEIPT:
+            receipt = Receipt.from_wire(message.body)
+            pending = self._pending_receipts.get(receipt.transaction_id)
+            if pending is not None:
+                pending.add(receipt, sender=receipt.org_id)
+        elif message.msg_type == MSG_READ_RESPONSE:
+            pending = self._pending_reads.get(message.body["proposal_id"])
+            if pending is not None:
+                pending.add(message.body["value"], sender=message.sender)
+
+    # -- organization selection ----------------------------------------------
+
+    def _select_orgs(self, count: int) -> List[str]:
+        candidates = [org for org in self.org_ids if org not in self.blacklist]
+        if len(candidates) < count:
+            # Not enough trusted organizations left; fall back to all.
+            candidates = list(self.org_ids)
+        if self.config.org_weights is not None and len(self.config.org_weights) == len(
+            self.org_ids
+        ):
+            weight_of = dict(zip(self.org_ids, self.config.org_weights))
+            pool = list(candidates)
+            chosen: List[str] = []
+            while pool and len(chosen) < count:
+                weights = [weight_of.get(org, 1.0) for org in pool]
+                pick = self.rng.choices(pool, weights=weights, k=1)[0]
+                pool.remove(pick)
+                chosen.append(pick)
+            return chosen
+        return self.rng.sample(candidates, count)
+
+    # -- Byzantine helpers --------------------------------------------------------
+
+    def _misbehaves(self, fault: str) -> bool:
+        return (
+            self.byzantine is not None
+            and fault in self.byzantine.faults
+            and self.rng.random() < self.byzantine.fault_probability
+        )
+
+    # -- modify transactions -----------------------------------------------------
+
+    def submit_modify(self, contract_id: str, function: str, params: Dict[str, Any]):
+        """Run one modify transaction through both phases.
+
+        A generator to be run as a simulated process; returns ``True``
+        on successful commit (q valid receipts).
+        """
+        q = self.policy.quorum
+        no_increment = self._misbehaves("no_increment")
+        clock = self.clock.peek() if no_increment else self.clock.tick()
+        proposal = Proposal(self.client_id, contract_id, function, dict(params), clock)
+        txn_id = proposal.proposal_id
+        if self.recorder is not None and txn_id not in getattr(self.recorder, "records", {}):
+            self.recorder.submitted(txn_id, self.client_id, "modify", self.sim.now)
+        split_clock = self._misbehaves("split_clock")
+
+        attempt = 0
+        while True:
+            targets = self._select_orgs(q)
+            pending = _Pending(self.sim, needed=q)
+            self._pending_endorsements[txn_id] = pending
+            for index, org_id in enumerate(targets):
+                body = proposal.to_wire()
+                if split_clock and index > 0:
+                    # Different logical timestamps to different orgs.
+                    body = dict(body)
+                    body["clock"] = {
+                        "client_id": self.client_id,
+                        "counter": clock.counter + index,
+                    }
+                self.network.send(
+                    Message(
+                        sender=self.client_id,
+                        recipient=org_id,
+                        msg_type=MSG_PROPOSAL,
+                        body=body,
+                        size_bytes=self.perf.proposal_bytes,
+                    )
+                )
+            timeout = self.sim.timeout(self.config.proposal_timeout)
+            yield AnyOf(self.sim, [pending.event, timeout])
+            endorsements: List[Endorsement] = list(pending.responses)
+            del self._pending_endorsements[txn_id]
+
+            majority = self._majority_write_set(endorsements)
+            if majority is not None and len(majority) >= q:
+                break  # enough identical endorsements
+            if self.config.avoid_byzantine:
+                self._blacklist_offenders(targets, endorsements, majority)
+            attempt += 1
+            if attempt > self.config.max_retries:
+                self.failed += 1
+                if self.recorder is not None:
+                    self.recorder.failed(txn_id, self.sim.now, "endorsement failure")
+                return False
+            if self.recorder is not None:
+                self.recorder.retried(txn_id)
+
+        if self._misbehaves("proposal_only"):
+            # DDoS-style fault: never send the commit. No lasting side
+            # effects on the system (Section 8, fault 1).
+            self.failed += 1
+            if self.recorder is not None:
+                self.recorder.failed(txn_id, self.sim.now, "byzantine: proposal only")
+            return False
+
+        write_set = majority[0].write_set
+        transaction = Transaction.assemble(
+            self.identity, proposal, write_set, list(majority)
+        )
+        if self._misbehaves("tamper"):
+            tampered = [dict(op) for op in write_set]
+            for op in tampered:
+                if op["value_type"] == "gcounter":
+                    op["value"] = (op["value"] or 0) + 999
+                else:
+                    op["value"] = "<client-tampered>"
+            transaction = Transaction.assemble(
+                self.identity, proposal, tampered, list(majority)
+            )
+
+        commit_targets = self._select_orgs(q)
+        if self._misbehaves("partial_commit"):
+            commit_targets = commit_targets[:1]
+        pending = _Pending(self.sim, needed=min(q, len(commit_targets)))
+        self._pending_receipts[txn_id] = pending
+        wire = transaction.to_wire()
+        for org_id in commit_targets:
+            self.network.send(
+                Message(
+                    sender=self.client_id,
+                    recipient=org_id,
+                    msg_type=MSG_COMMIT,
+                    body=wire,
+                    size_bytes=transaction.wire_size(),
+                )
+            )
+        timeout = self.sim.timeout(self.config.commit_timeout)
+        yield AnyOf(self.sim, [pending.event, timeout])
+        receipts: List[Receipt] = list(pending.responses)
+        del self._pending_receipts[txn_id]
+
+        valid_orgs = {r.org_id for r in receipts if r.valid}
+        rejections = [r for r in receipts if not r.valid]
+        if len(valid_orgs) >= q:
+            self.committed += 1
+            if self.recorder is not None:
+                self.recorder.committed(txn_id, self.sim.now)
+            return True
+        self.failed += 1
+        if self.recorder is not None:
+            reason = "rejected" if rejections else "commit timeout"
+            self.recorder.failed(txn_id, self.sim.now, reason)
+        return False
+
+    @staticmethod
+    def _majority_write_set(
+        endorsements: List[Endorsement],
+    ) -> Optional[List[Endorsement]]:
+        """Largest group of endorsements with identical write-sets."""
+        if not endorsements:
+            return None
+        groups: Dict[str, List[Endorsement]] = {}
+        for endorsement in endorsements:
+            groups.setdefault(write_set_digest(endorsement.write_set), []).append(endorsement)
+        return max(groups.values(), key=len)
+
+    def _blacklist_offenders(
+        self,
+        targets: Sequence[str],
+        endorsements: List[Endorsement],
+        majority: Optional[List[Endorsement]],
+    ) -> None:
+        """Figure 8(b): avoid orgs that did not respond or disagreed."""
+        responded = {e.org_id for e in endorsements}
+        agreeing = {e.org_id for e in (majority or [])}
+        for org_id in targets:
+            if org_id not in responded or (org_id in responded and org_id not in agreeing):
+                self.blacklist.add(org_id)
+
+    # -- read transactions -----------------------------------------------------------
+
+    def submit_read(self, contract_id: str, function: str, params: Dict[str, Any]):
+        """Run one read transaction; returns the responses (or None)."""
+        q = self.policy.quorum
+        clock = self.clock.tick()
+        proposal = Proposal(self.client_id, contract_id, function, dict(params), clock)
+        txn_id = proposal.proposal_id
+        if self.recorder is not None:
+            self.recorder.submitted(txn_id, self.client_id, "read", self.sim.now)
+        targets = self._select_orgs(q)
+        pending = _Pending(self.sim, needed=q)
+        self._pending_reads[txn_id] = pending
+        for org_id in targets:
+            self.network.send(
+                Message(
+                    sender=self.client_id,
+                    recipient=org_id,
+                    msg_type=MSG_READ,
+                    body=proposal.to_wire(),
+                    size_bytes=self.perf.proposal_bytes,
+                )
+            )
+        timeout = self.sim.timeout(self.config.read_timeout)
+        winner = yield AnyOf(self.sim, [pending.event, timeout])
+        values = list(pending.responses)
+        del self._pending_reads[txn_id]
+        if winner is pending.event:
+            self.committed += 1
+            if self.recorder is not None:
+                self.recorder.committed(txn_id, self.sim.now)
+            return values
+        self.failed += 1
+        if self.recorder is not None:
+            self.recorder.failed(txn_id, self.sim.now, "read timeout")
+        return None
+
+
+__all__ = ["Client", "ClientConfig"]

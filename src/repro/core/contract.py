@@ -1,0 +1,184 @@
+"""The Smart Contract Library (SCL, Section 6).
+
+Developers subclass :class:`SmartContract` and implement functions as
+methods registered with :func:`modify_function` / :func:`read_function`
+decorators. Modify functions receive a :class:`ContractContext` whose
+CRDT APIs create I-confluent operations (Table 1); read functions
+retrieve CRDT values from the ledger with no side effects.
+
+Determinism contract: a modify function must derive its write-set
+*only* from the invocation parameters and the client's clock — never
+from local state — because every endorsing organization must produce an
+identical write-set for the transaction to assemble (Section 4, commit
+phase). The context enforces this by refusing reads during modify
+execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.crdt.clock import OpClock
+from repro.crdt.operation import (
+    TYPE_GCOUNTER,
+    TYPE_MAP,
+    TYPE_MVREGISTER,
+    TYPE_ORSET,
+    Operation,
+)
+from repro.errors import ContractError
+
+
+class StateReader:
+    """Read access to an organization's application state."""
+
+    def __init__(self, read_callback: Callable[[str, tuple], Any]) -> None:
+        self._read = read_callback
+
+    def read(self, object_id: str, path: Iterable[str] = ()) -> Any:
+        """Table 1's read API: resolved CRDT value, no side effects."""
+        return self._read(object_id, tuple(path))
+
+
+class ContractContext:
+    """Execution context handed to smart-contract functions.
+
+    For modify functions it accumulates the write-set; for read
+    functions it exposes :attr:`state`.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        clock: OpClock,
+        state: Optional[StateReader] = None,
+        allow_reads: bool = False,
+    ) -> None:
+        self.client_id = client_id
+        self.clock = clock
+        self._state = state
+        self._allow_reads = allow_reads
+        self._write_set: List[Operation] = []
+
+    # -- CRDT modification APIs (Table 1) ---------------------------------
+
+    def add_value(self, object_id: str, value: float, path: Iterable[str] = ()) -> None:
+        """G-Counter ``AddValue(value, clock)``."""
+        self._emit(object_id, path, value, TYPE_GCOUNTER)
+
+    def insert_value(self, object_id: str, key: str, value: Any, path: Iterable[str] = ()) -> None:
+        """CRDT Map ``InsertValue(key, value, clock)``.
+
+        The inserted value behaves as an MV-Register at ``key`` (null
+        deletes); ``path`` addresses a nested map.
+        """
+        self._emit(object_id, tuple(path) + (str(key),), value, TYPE_MVREGISTER)
+
+    def assign_value(self, object_id: str, value: Any, path: Iterable[str] = ()) -> None:
+        """MV-Register ``AssignValue(value, clock)``."""
+        self._emit(object_id, path, value, TYPE_MVREGISTER)
+
+    def create_map(self, object_id: str, key: str, path: Iterable[str] = ()) -> None:
+        """Create a nested map under ``key`` (for complex structures)."""
+        self._emit(object_id, path, str(key), TYPE_MAP)
+
+    def add_to_set(self, object_id: str, element: Any, path: Iterable[str] = ()) -> None:
+        """OR-Set add (extension CRDT)."""
+        self._emit(object_id, path, {"add": element}, TYPE_ORSET)
+
+    def remove_from_set(
+        self, object_id: str, element: Any, tags: Iterable[str], path: Iterable[str] = ()
+    ) -> None:
+        """OR-Set observed-remove (extension CRDT).
+
+        ``tags`` are the add tags the client observed via the read API
+        (``ORSet.read_tags``); only those adds are removed, so the
+        operation commutes with concurrent adds.
+        """
+        self._emit(object_id, path, {"remove": element, "tags": list(tags)}, TYPE_ORSET)
+
+    def _emit(self, object_id: str, path: Iterable[str], value: Any, value_type: str) -> None:
+        self._write_set.append(
+            Operation(
+                object_id=object_id,
+                path=tuple(str(part) for part in path),
+                value=value,
+                value_type=value_type,
+                clock=self.clock,
+                op_index=len(self._write_set),
+            )
+        )
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def state(self) -> StateReader:
+        if not self._allow_reads:
+            raise ContractError(
+                "modify functions must not read state: endorsing organizations may "
+                "hold divergent replicas and would produce mismatching write-sets"
+            )
+        if self._state is None:
+            raise ContractError("no state reader attached to this context")
+        return self._state
+
+    # -- results ------------------------------------------------------------
+
+    def write_set(self) -> List[Operation]:
+        return list(self._write_set)
+
+    def write_set_wire(self) -> List[Dict[str, Any]]:
+        return [op.to_wire() for op in self._write_set]
+
+
+def modify_function(func: Callable) -> Callable:
+    """Mark a contract method as a modify function."""
+    func._scl_kind = "modify"
+    return func
+
+
+def read_function(func: Callable) -> Callable:
+    """Mark a contract method as a read function."""
+    func._scl_kind = "read"
+    return func
+
+
+class SmartContract:
+    """Base class for OrderlessChain smart contracts."""
+
+    contract_id: str = ""
+
+    def __init__(self) -> None:
+        if not self.contract_id:
+            raise ContractError(f"{type(self).__name__} must set contract_id")
+        self._functions: Dict[str, tuple[str, Callable]] = {}
+        for name in dir(self):
+            attr = getattr(self, name)
+            kind = getattr(attr, "_scl_kind", None)
+            if kind is not None:
+                self._functions[name] = (kind, attr)
+
+    def functions(self) -> Dict[str, str]:
+        """Function name -> kind ("modify" or "read")."""
+        return {name: kind for name, (kind, _) in sorted(self._functions.items())}
+
+    def function_kind(self, function: str) -> str:
+        if function not in self._functions:
+            raise ContractError(f"{self.contract_id}: unknown function {function!r}")
+        return self._functions[function][0]
+
+    def execute(self, context: ContractContext, function: str, params: Dict[str, Any]) -> Any:
+        """Invoke a contract function with the given context."""
+        if function not in self._functions:
+            raise ContractError(f"{self.contract_id}: unknown function {function!r}")
+        _, bound = self._functions[function]
+        return bound(context, **params)
+
+
+__all__ = [
+    "ContractContext",
+    "SmartContract",
+    "StateReader",
+    "modify_function",
+    "read_function",
+]

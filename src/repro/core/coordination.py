@@ -1,0 +1,228 @@
+"""Coordination extension: sealing non-I-confluent objects.
+
+The paper's Discussion (Section 9): invariants like "a deadline for
+the end of an election, after which the votes are rejected" are *not*
+I-confluent and require coordination. "One approach for enabling
+OrderlessChain to preserve such invariants is extending it with
+coordination-based protocols ... the coordination-based protocol can
+be enabled only when we are near the end. Otherwise, we use our
+scalable coordination-free protocol."
+
+This module implements that hybrid: a **seal** is a one-shot,
+coordinator-driven agreement on an object's final transaction set.
+
+Protocol (two phases, all ``n`` organizations):
+
+1. *Freeze*: the coordinator freezes the object locally and broadcasts
+   ``SEAL_FREEZE``; every organization freezes the object (new client
+   commits touching it are rejected with reason ``"sealed"``) and
+   votes with the set of valid transactions it has committed for the
+   object — including their full payloads, so stragglers can catch up.
+2. *Seal-commit*: once every organization voted (coordination needs
+   all ``n``; a timeout aborts and unfreezes, preserving liveness of
+   the coordination-free path), the coordinator unions the votes into
+   the final set and broadcasts ``SEAL_COMMIT``. Each organization
+   first commits any transactions it was missing, then marks the
+   object sealed. All replicas therefore agree on exactly which
+   transactions made the deadline.
+
+Between seals, the object is served by the ordinary coordination-free
+protocol — the hybrid the paper sketches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional, Set
+
+from repro.core.organization import Organization
+from repro.core.transaction import Transaction
+from repro.net.message import Message
+from repro.sim.events import AnyOf, Event
+
+MSG_SEAL_FREEZE = "orderless.seal.freeze"
+MSG_SEAL_VOTE = "orderless.seal.vote"
+MSG_SEAL_COMMIT = "orderless.seal.commit"
+MSG_SEAL_ABORT = "orderless.seal.abort"
+
+_seal_ids = itertools.count()
+
+
+class SealingProtocol:
+    """Per-organization state and handlers for the sealing extension.
+
+    Install one instance on every organization::
+
+        protocols = [SealingProtocol(org) for org in net.organizations]
+        outcome = net.sim.process(protocols[0].seal("voting/e0/party1"))
+
+    ``seal`` runs at the coordinator; the other instances participate
+    through their registered message handlers.
+    """
+
+    def __init__(self, org: Organization, vote_timeout: float = 5.0) -> None:
+        self.org = org
+        self.vote_timeout = vote_timeout
+        self.frozen: Set[str] = set()
+        self.sealed: Dict[str, Set[str]] = {}  # object -> final txn ids
+        self._catching_up: Set[str] = set()  # txn ids exempt from the guard
+        self._votes: Dict[int, tuple[Event, Dict[str, Dict[str, Any]], Set[str]]] = {}
+        org.extension_handlers[MSG_SEAL_FREEZE] = self._on_freeze
+        org.extension_handlers[MSG_SEAL_VOTE] = self._on_vote
+        org.extension_handlers[MSG_SEAL_COMMIT] = self._on_commit
+        org.extension_handlers[MSG_SEAL_ABORT] = self._on_abort
+        org.commit_guards.append(self._guard)
+
+    # -- the commit guard -------------------------------------------------
+
+    def _guard(self, transaction: Transaction) -> Optional[str]:
+        """Reject transactions touching frozen or sealed objects.
+
+        Transactions in the agreed final set stay committable — the
+        seal-commit catch-up relies on it.
+        """
+        txn_id = transaction.transaction_id
+        if txn_id in self._catching_up:
+            return None
+        for operation in transaction.operations():
+            object_id = operation.object_id
+            if object_id in self.sealed and txn_id not in self.sealed[object_id]:
+                return "sealed"
+            if object_id in self.frozen:
+                return "sealed"
+        return None
+
+    def is_sealed(self, object_id: str) -> bool:
+        return object_id in self.sealed
+
+    # -- coordinator side -----------------------------------------------------
+
+    def seal(self, object_id: str):
+        """Coordinate sealing ``object_id``; a process generator.
+
+        Returns the final set of transaction ids on success, or
+        ``None`` if any organization failed to vote in time (the seal
+        aborts and the object unfreezes everywhere).
+        """
+        org = self.org
+        seal_id = next(_seal_ids)
+        self.frozen.add(object_id)
+        all_votes = Event(org.sim)
+        votes: Dict[str, Dict[str, Any]] = dict(org.transactions_for_object(object_id))
+        voters: Set[str] = {org.org_id}
+        needed = len(org.peer_ids) + 1
+        self._votes[seal_id] = (all_votes, votes, voters)
+        if needed == 1 and not all_votes.triggered:
+            all_votes.trigger()
+        for peer in org.peer_ids:
+            org.network.send(
+                Message(
+                    sender=org.org_id,
+                    recipient=peer,
+                    msg_type=MSG_SEAL_FREEZE,
+                    body={"seal_id": seal_id, "object_id": object_id},
+                    size_bytes=160,
+                )
+            )
+        winner = yield AnyOf(org.sim, [all_votes, org.sim.timeout(self.vote_timeout)])
+        _, votes, voters = self._votes.pop(seal_id)
+        if winner is not all_votes or len(voters) < needed:
+            # Liveness: abort the seal, resume coordination-free mode.
+            self.frozen.discard(object_id)
+            for peer in org.peer_ids:
+                org.network.send(
+                    Message(
+                        sender=org.org_id,
+                        recipient=peer,
+                        msg_type=MSG_SEAL_ABORT,
+                        body={"object_id": object_id},
+                        size_bytes=120,
+                    )
+                )
+            return None
+        final_wires = votes  # txn_id -> wire, unioned across all orgs
+        body = {"object_id": object_id, "transactions": final_wires}
+        size = 200 + 400 * len(final_wires)
+        for peer in org.peer_ids:
+            org.network.send(
+                Message(
+                    sender=org.org_id,
+                    recipient=peer,
+                    msg_type=MSG_SEAL_COMMIT,
+                    body=body,
+                    size_bytes=size,
+                )
+            )
+        yield from self._apply_seal(object_id, final_wires)
+        return set(final_wires)
+
+    def _on_vote(self, message: Message) -> None:
+        entry = self._votes.get(message.body["seal_id"])
+        if entry is None:
+            return
+        event, votes, voters = entry
+        if message.sender in voters:
+            return
+        voters.add(message.sender)
+        votes.update(message.body["transactions"])
+        if len(voters) >= len(self.org.peer_ids) + 1 and not event.triggered:
+            event.trigger()
+
+    # -- participant side ---------------------------------------------------------
+
+    def _on_freeze(self, message: Message) -> None:
+        object_id = message.body["object_id"]
+        self.frozen.add(object_id)
+        self.org.network.send(
+            Message(
+                sender=self.org.org_id,
+                recipient=message.sender,
+                msg_type=MSG_SEAL_VOTE,
+                body={
+                    "seal_id": message.body["seal_id"],
+                    "transactions": self.org.transactions_for_object(object_id),
+                },
+                size_bytes=200 + 400 * len(self.org.transactions_for_object(object_id)),
+            )
+        )
+
+    def _on_commit(self, message: Message) -> None:
+        object_id = message.body["object_id"]
+        wires = message.body["transactions"]
+        self.org.sim.process(
+            self._apply_seal(object_id, wires), name=f"{self.org.org_id}.seal"
+        )
+
+    def _on_abort(self, message: Message) -> None:
+        self.frozen.discard(message.body["object_id"])
+
+    def _apply_seal(self, object_id: str, final_wires: Dict[str, Dict[str, Any]]):
+        """Catch up on missing transactions, then seal the object."""
+        self._catching_up |= set(final_wires)
+        try:
+            for txn_id, wire in sorted(final_wires.items()):
+                # is_valid_transaction, not has_transaction: a racing
+                # client commit may have been *rejected* here while the
+                # object was frozen, and the agreed final set overrides
+                # that rejection.
+                if not self.org.ledger.is_valid_transaction(txn_id):
+                    yield from self.org.commit_directly(Transaction.from_wire(wire))
+        finally:
+            self._catching_up -= set(final_wires)
+        self.sealed[object_id] = set(final_wires)
+        self.frozen.discard(object_id)
+
+
+def install_sealing(network, vote_timeout: float = 5.0) -> Dict[str, SealingProtocol]:
+    """Install the sealing extension on every organization of a network.
+
+    Returns a mapping from organization id to its protocol instance;
+    any of them can act as coordinator.
+    """
+    return {
+        org.org_id: SealingProtocol(org, vote_timeout=vote_timeout)
+        for org in network.organizations
+    }
+
+
+__all__ = ["SealingProtocol", "install_sealing"]

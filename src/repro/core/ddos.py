@@ -1,0 +1,93 @@
+"""DDoS detection: rate-limiting and revoking abusive clients.
+
+Section 8, client fault 1: "A Byzantine client may send proposals to
+the organizations without sending the transaction to be committed ...
+it can be used for DDoS attacks. As only authenticated clients can
+communicate with the organizations, OrderlessChain can employ existing
+DDoS attack detection mechanisms to revoke Byzantine clients'
+permissions."
+
+:class:`ProposalRateGuard` is such a mechanism: a sliding-window rate
+detector per client. Two escalation levels:
+
+* above ``max_rate`` proposals/second the organization *drops* the
+  client's proposals (local back-pressure);
+* a client that stays abusive for ``strikes`` consecutive windows is
+  reported to the certificate authority for revocation — after which
+  every organization ignores it (the CA is the membership service, so
+  revocation is network-wide).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict
+
+from repro.core.organization import Organization
+from repro.core.transaction import Proposal
+
+
+class ProposalRateGuard:
+    """Sliding-window per-client proposal rate limiting with revocation."""
+
+    def __init__(
+        self,
+        org: Organization,
+        max_rate: float = 50.0,
+        window: float = 1.0,
+        strikes: int = 3,
+        revoke: bool = True,
+    ) -> None:
+        if max_rate <= 0 or window <= 0 or strikes < 1:
+            raise ValueError("max_rate and window must be positive, strikes >= 1")
+        self.org = org
+        self.max_rate = max_rate
+        self.window = window
+        self.strikes = strikes
+        self.revoke = revoke
+        self._arrivals: Dict[str, Deque[float]] = defaultdict(deque)
+        self._strike_count: Dict[str, int] = defaultdict(int)
+        self._last_strike_window: Dict[str, int] = {}
+        self.dropped: Dict[str, int] = defaultdict(int)
+        self.revoked: set[str] = set()
+        org.proposal_guards.append(self._check)
+
+    @property
+    def _limit(self) -> int:
+        return max(1, int(self.max_rate * self.window))
+
+    def _check(self, proposal: Proposal) -> bool:
+        client_id = proposal.client_id
+        now = self.org.sim.now
+        arrivals = self._arrivals[client_id]
+        cutoff = now - self.window
+        while arrivals and arrivals[0] < cutoff:
+            arrivals.popleft()
+        arrivals.append(now)
+        if len(arrivals) <= self._limit:
+            return True
+        # Over the limit: drop, and count one strike per window.
+        self.dropped[client_id] += 1
+        window_index = int(now / self.window)
+        if self._last_strike_window.get(client_id) != window_index:
+            self._last_strike_window[client_id] = window_index
+            self._strike_count[client_id] += 1
+            if (
+                self.revoke
+                and self._strike_count[client_id] >= self.strikes
+                and client_id not in self.revoked
+                and not self.org.ca.is_revoked(client_id)
+            ):
+                self.org.ca.revoke(client_id)
+                self.revoked.add(client_id)
+        return False
+
+
+def install_rate_guards(network, **kwargs) -> Dict[str, ProposalRateGuard]:
+    """Install a rate guard on every organization of a network."""
+    return {
+        org.org_id: ProposalRateGuard(org, **kwargs) for org in network.organizations
+    }
+
+
+__all__ = ["ProposalRateGuard", "install_rate_guards"]

@@ -1,0 +1,72 @@
+"""Endorsement policies (Section 3).
+
+An endorsement policy ``EP: {q of n}`` requires ``q`` of the network's
+``n`` organizations to endorse *and* commit each transaction. For up to
+``f`` Byzantine organizations the application is safe iff ``q >= f+1``
+and live iff ``n - q >= f`` (Theorem 8.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class EndorsementPolicy:
+    """``q of n``: the trust requirement of an application."""
+
+    quorum: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.quorum <= self.total:
+            raise PolicyError(
+                f"endorsement policy needs 0 < q <= n, got q={self.quorum}, n={self.total}"
+            )
+
+    def __str__(self) -> str:
+        return f"{{{self.quorum} of {self.total}}}"
+
+    # -- Theorem 8.1 -----------------------------------------------------
+
+    @property
+    def safety_tolerance(self) -> int:
+        """Maximum Byzantine organizations under which safety holds (q-1)."""
+        return self.quorum - 1
+
+    @property
+    def liveness_tolerance(self) -> int:
+        """Maximum Byzantine organizations under which liveness holds (n-q)."""
+        return self.total - self.quorum
+
+    def is_safe_under(self, faulty: int) -> bool:
+        """Safety holds iff ``q >= f + 1``."""
+        return self.quorum >= faulty + 1
+
+    def is_live_under(self, faulty: int) -> bool:
+        """Liveness holds iff ``n - q >= f``."""
+        return self.total - self.quorum >= faulty
+
+    # -- checks used by the protocol --------------------------------------
+
+    def satisfied_by(self, endorsement_count: int) -> bool:
+        """Whether a set of (distinct, valid) endorsements meets the policy."""
+        return endorsement_count >= self.quorum
+
+    def partition_available(self, partition_size: int) -> bool:
+        """CAP discussion (Section 3): a partition stays available iff it
+        contains at least ``q`` organizations."""
+        return partition_size >= self.quorum
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"quorum": self.quorum, "total": self.total}
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "EndorsementPolicy":
+        return cls(quorum=int(wire["quorum"]), total=int(wire["total"]))
+
+
+__all__ = ["EndorsementPolicy"]

@@ -1,0 +1,201 @@
+"""Assemble a complete OrderlessChain network.
+
+:class:`OrderlessChainNetwork` wires the simulator, RNG streams, the
+certificate authority, the WAN, ``n`` organizations, and any number of
+clients into a runnable system, and provides the helpers experiments
+need: Byzantine window scheduling, convergence checks, and final-state
+access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.byzantine import ByzantineClientConfig, ByzantineOrgConfig
+from repro.core.client import Client, ClientConfig
+from repro.core.contract import SmartContract
+from repro.core.organization import Organization
+from repro.core.perf import PerfModel
+from repro.core.policy import EndorsementPolicy
+from repro.core.recording import TransactionRecorder
+from repro.errors import ConfigError
+from repro.net.latency import LatencyModel, LinkFaults
+from repro.net.network import Network
+from repro.crypto.identity import CertificateAuthority
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class OrderlessChainSettings:
+    """Everything needed to build a network."""
+
+    num_orgs: int = 4
+    quorum: int = 2
+    seed: int = 0
+    signature_scheme: str = "simulated"
+    perf: PerfModel = field(default_factory=PerfModel)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    faults: LinkFaults = field(default_factory=LinkFaults)
+    gossip_interval: float = 1.0
+    gossip_fanout: int = 1
+    gossip_ttl: int = 3
+    sync_interval: float = 5.0
+    cache_enabled: bool = True
+    client_config: ClientConfig = field(default_factory=ClientConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_orgs < 1:
+            raise ConfigError(f"need at least one organization, got {self.num_orgs}")
+        if not 0 < self.quorum <= self.num_orgs:
+            raise ConfigError(
+                f"endorsement policy needs 0 < q <= n, got q={self.quorum}, n={self.num_orgs}"
+            )
+
+
+class OrderlessChainNetwork:
+    """A built network: simulator + organizations + clients."""
+
+    def __init__(self, settings: OrderlessChainSettings) -> None:
+        self.settings = settings
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed=settings.seed)
+        self.ca = CertificateAuthority(scheme=settings.signature_scheme)
+        self.network = Network(
+            self.sim,
+            self.rng.stream("net"),
+            latency=settings.latency,
+            faults=settings.faults,
+        )
+        self.policy = EndorsementPolicy(settings.quorum, settings.num_orgs)
+        self.recorder = TransactionRecorder()
+        self.organizations: List[Organization] = []
+        for index in range(settings.num_orgs):
+            identity = self.ca.enroll(f"org{index}", "organization", seed=f"org{index}".encode())
+            org = Organization(
+                sim=self.sim,
+                network=self.network,
+                identity=identity,
+                ca=self.ca,
+                policy=self.policy,
+                perf=settings.perf,
+                rng=self.rng.stream(f"org{index}"),
+                recorder=self.recorder,
+                cache_enabled=settings.cache_enabled,
+                gossip_interval=settings.gossip_interval,
+                gossip_fanout=settings.gossip_fanout,
+                gossip_ttl=settings.gossip_ttl,
+                sync_interval=settings.sync_interval,
+            )
+            self.organizations.append(org)
+        org_ids = [org.org_id for org in self.organizations]
+        for org in self.organizations:
+            org.set_peers(org_ids)
+        self.clients: List[Client] = []
+        self._started = False
+
+    @property
+    def org_ids(self) -> List[str]:
+        return [org.org_id for org in self.organizations]
+
+    def org(self, org_id: str) -> Organization:
+        for org in self.organizations:
+            if org.org_id == org_id:
+                return org
+        raise ConfigError(f"unknown organization {org_id!r}")
+
+    # -- setup -----------------------------------------------------------
+
+    def install_contract(self, contract_factory) -> None:
+        """Install a contract on every organization.
+
+        ``contract_factory`` is called once per organization so each
+        holds its own instance (no shared mutable state).
+        """
+        for org in self.organizations:
+            org.install_contract(contract_factory())
+
+    def add_client(
+        self,
+        name: Optional[str] = None,
+        config: Optional[ClientConfig] = None,
+        byzantine: Optional[ByzantineClientConfig] = None,
+    ) -> Client:
+        index = len(self.clients)
+        identifier = name or f"client{index}"
+        identity = self.ca.enroll(identifier, "client", seed=identifier.encode())
+        client = Client(
+            sim=self.sim,
+            network=self.network,
+            identity=identity,
+            policy=self.policy,
+            org_ids=self.org_ids,
+            perf=self.settings.perf,
+            rng=self.rng.stream(f"client:{identifier}"),
+            recorder=self.recorder,
+            config=config or self.settings.client_config,
+            byzantine=byzantine,
+        )
+        self.clients.append(client)
+        return client
+
+    def add_clients(self, count: int, **kwargs) -> List[Client]:
+        return [self.add_client(**kwargs) for _ in range(count)]
+
+    def start(self) -> None:
+        """Start organization background processes (gossip)."""
+        if self._started:
+            return
+        self._started = True
+        for org in self.organizations:
+            org.start()
+
+    # -- Byzantine scheduling (Figure 8) ------------------------------------
+
+    def schedule_byzantine_window(
+        self,
+        org_ids: Sequence[str],
+        start: float,
+        end: Optional[float],
+        config: Optional[ByzantineOrgConfig] = None,
+    ) -> None:
+        """Make the named organizations Byzantine during [start, end)."""
+        config = config or ByzantineOrgConfig()
+        for org_id in org_ids:
+            org = self.org(org_id)
+
+            def activate(org=org) -> None:
+                org.byzantine = config
+                org.byzantine_active = True
+
+            def deactivate(org=org) -> None:
+                org.byzantine_active = False
+
+            self.sim.schedule_at(start, activate)
+            if end is not None:
+                self.sim.schedule_at(end, deactivate)
+
+    # -- run and inspect ----------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        self.start()
+        self.sim.run(until=until)
+
+    def converged(self) -> bool:
+        """Whether every organization holds the same application state."""
+        snapshots = [org.state_snapshot() for org in self.organizations]
+        return all(snapshot == snapshots[0] for snapshot in snapshots)
+
+    def committed_everywhere(self, transaction_id: str) -> int:
+        """How many organizations committed the transaction as valid."""
+        return sum(
+            org.ledger.is_valid_transaction(transaction_id) for org in self.organizations
+        )
+
+    def verify_all_ledgers(self) -> None:
+        for org in self.organizations:
+            org.ledger.verify_integrity()
+
+
+__all__ = ["OrderlessChainNetwork", "OrderlessChainSettings"]

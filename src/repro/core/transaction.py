@@ -1,0 +1,247 @@
+"""Protocol messages of the two-phase execute-commit protocol.
+
+* :class:`Proposal` — phase 1: the client's request to execute a smart
+  contract function (client id, contract id, function, parameters,
+  client's Lamport clock).
+* :class:`Endorsement` — an organization's signed write-set for a
+  proposal.
+* :class:`Transaction` — phase 2: the write-set plus the collected
+  endorsements, signed by the client.
+* :class:`Receipt` — the signed hash of the block containing the
+  committed transaction (``RCPT`` for valid, ``REJ`` for invalid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.crdt.clock import OpClock
+from repro.crdt.operation import Operation
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.identity import Identity
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A transaction proposal ``TP_i`` (phase 1, step 1)."""
+
+    client_id: str
+    contract_id: str
+    function: str
+    params: Dict[str, Any]
+    clock: OpClock
+
+    @property
+    def proposal_id(self) -> str:
+        """Unique id: the client id plus the client's Lamport counter."""
+        return f"{self.client_id}:{self.clock.counter}"
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "client_id": self.client_id,
+            "contract_id": self.contract_id,
+            "function": self.function,
+            "params": self.params,
+            "clock": self.clock.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "Proposal":
+        return cls(
+            client_id=wire["client_id"],
+            contract_id=wire["contract_id"],
+            function=wire["function"],
+            params=dict(wire["params"]),
+            clock=OpClock.from_wire(wire["clock"]),
+        )
+
+
+def write_set_digest(write_set: List[Dict[str, Any]]) -> str:
+    """Hash of a write-set (the payload both parties sign)."""
+    return sha256_hex({"write_set": write_set})
+
+
+@dataclass(frozen=True)
+class Endorsement:
+    """An organization's signed response to a proposal (step 2).
+
+    ``signature`` covers the proposal id and the write-set digest, so
+    neither the client nor other organizations can tamper with the
+    endorsed operations without invalidating it.
+    """
+
+    org_id: str
+    proposal_id: str
+    write_set: List[Dict[str, Any]]
+    signature: str
+
+    @staticmethod
+    def signed_payload(proposal_id: str, write_set: List[Dict[str, Any]]) -> Dict[str, Any]:
+        return {"proposal_id": proposal_id, "digest": write_set_digest(write_set)}
+
+    @staticmethod
+    def signed_payload_from_digest(proposal_id: str, digest: str) -> Dict[str, Any]:
+        return {"proposal_id": proposal_id, "digest": digest}
+
+    @classmethod
+    def create(
+        cls, identity: Identity, proposal_id: str, write_set: List[Dict[str, Any]]
+    ) -> "Endorsement":
+        payload = cls.signed_payload(proposal_id, write_set)
+        return cls(
+            org_id=identity.identifier,
+            proposal_id=proposal_id,
+            write_set=write_set,
+            signature=identity.sign(payload),
+        )
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "org_id": self.org_id,
+            "proposal_id": self.proposal_id,
+            "write_set": self.write_set,
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "Endorsement":
+        return cls(
+            org_id=wire["org_id"],
+            proposal_id=wire["proposal_id"],
+            write_set=[dict(op) for op in wire["write_set"]],
+            signature=wire["signature"],
+        )
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An assembled transaction ``TS_i`` (phase 2, step 3)."""
+
+    proposal: Proposal
+    write_set: List[Dict[str, Any]]
+    endorsements: Tuple[Endorsement, ...]
+    client_signature: str
+
+    @property
+    def transaction_id(self) -> str:
+        return self.proposal.proposal_id
+
+    def digest(self) -> str:
+        """Write-set digest, computed once per transaction object.
+
+        Validation hashes the same write-set for the client signature
+        and once per endorsement; caching keeps that O(1) in hashing.
+        """
+        cached = self.__dict__.get("_digest_cache")
+        if cached is None:
+            cached = write_set_digest(self.write_set)
+            object.__setattr__(self, "_digest_cache", cached)
+        return cached
+
+    @staticmethod
+    def signed_payload(proposal_id: str, write_set: List[Dict[str, Any]]) -> Dict[str, Any]:
+        return {"transaction_id": proposal_id, "digest": write_set_digest(write_set)}
+
+    @staticmethod
+    def signed_payload_from_digest(proposal_id: str, digest: str) -> Dict[str, Any]:
+        return {"transaction_id": proposal_id, "digest": digest}
+
+    @classmethod
+    def assemble(
+        cls,
+        client_identity: Identity,
+        proposal: Proposal,
+        write_set: List[Dict[str, Any]],
+        endorsements: List[Endorsement],
+    ) -> "Transaction":
+        """Create and client-sign the transaction (phase 2 entry)."""
+        payload = cls.signed_payload(proposal.proposal_id, write_set)
+        return cls(
+            proposal=proposal,
+            write_set=write_set,
+            endorsements=tuple(endorsements),
+            client_signature=client_identity.sign(payload),
+        )
+
+    def operations(self) -> List[Operation]:
+        """Parse the write-set into CRDT operations (validates them)."""
+        return [Operation.from_wire(wire) for wire in self.write_set]
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "proposal": self.proposal.to_wire(),
+            "write_set": self.write_set,
+            "endorsements": [e.to_wire() for e in self.endorsements],
+            "client_signature": self.client_signature,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "Transaction":
+        return cls(
+            proposal=Proposal.from_wire(wire["proposal"]),
+            write_set=[dict(op) for op in wire["write_set"]],
+            endorsements=tuple(Endorsement.from_wire(e) for e in wire["endorsements"]),
+            client_signature=wire["client_signature"],
+        )
+
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes (drives link delay)."""
+        return 400 + 140 * len(self.write_set) + 120 * len(self.endorsements)
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """``RCPT_i`` / ``REJ_i`` (step 4): signed hash of the block holding
+    the transaction, marked valid or invalid."""
+
+    org_id: str
+    transaction_id: str
+    block_hash: str
+    valid: bool
+    signature: str
+
+    @staticmethod
+    def signed_payload(transaction_id: str, block_hash: str, valid: bool) -> Dict[str, Any]:
+        return {"transaction_id": transaction_id, "block_hash": block_hash, "valid": valid}
+
+    @classmethod
+    def create(
+        cls, identity: Identity, transaction_id: str, block_hash: str, valid: bool
+    ) -> "Receipt":
+        payload = cls.signed_payload(transaction_id, block_hash, valid)
+        return cls(
+            org_id=identity.identifier,
+            transaction_id=transaction_id,
+            block_hash=block_hash,
+            valid=valid,
+            signature=identity.sign(payload),
+        )
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "org_id": self.org_id,
+            "transaction_id": self.transaction_id,
+            "block_hash": self.block_hash,
+            "valid": self.valid,
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "Receipt":
+        return cls(
+            org_id=wire["org_id"],
+            transaction_id=wire["transaction_id"],
+            block_hash=wire["block_hash"],
+            valid=bool(wire["valid"]),
+            signature=wire["signature"],
+        )
+
+
+__all__ = [
+    "Proposal",
+    "Endorsement",
+    "Transaction",
+    "Receipt",
+    "write_set_digest",
+]

@@ -1,0 +1,48 @@
+"""CRDT substrate: clocks, operations, and the three supported CRDTs.
+
+OrderlessChain supports grow-only counters (G-Counter), CRDT maps, and
+multi-value registers (MV-Register) — Table 1 of the paper — with
+nested composition (map values may be further CRDTs) and conflict
+resolution driven by the happened-before relation between operation
+clocks (Figures 3 and 4).
+
+The package also contains the state-based JSON CRDT used by the
+FabricCRDT baseline (Section 10 contrasts it with OrderlessChain's
+operation-based approach).
+"""
+
+from repro.crdt.apply import apply_operations
+from repro.crdt.base import CRDT, Ordering, compare_clocks
+from repro.crdt.clock import LamportClock, OpClock, VectorClock
+from repro.crdt.crdtmap import CRDTMap
+from repro.crdt.gcounter import GCounter
+from repro.crdt.mvregister import MVRegister
+from repro.crdt.orset import ORSet
+from repro.crdt.operation import (
+    TYPE_GCOUNTER,
+    TYPE_MAP,
+    TYPE_MVREGISTER,
+    TYPE_ORSET,
+    Operation,
+)
+from repro.crdt.store import CRDTStore
+
+__all__ = [
+    "CRDT",
+    "CRDTMap",
+    "CRDTStore",
+    "GCounter",
+    "LamportClock",
+    "MVRegister",
+    "ORSet",
+    "OpClock",
+    "Operation",
+    "Ordering",
+    "TYPE_GCOUNTER",
+    "TYPE_MAP",
+    "TYPE_MVREGISTER",
+    "TYPE_ORSET",
+    "VectorClock",
+    "apply_operations",
+    "compare_clocks",
+]

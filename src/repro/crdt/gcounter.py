@@ -1,0 +1,63 @@
+"""Grow-only counter (G-Counter).
+
+"A monotonically increasing numeric variable" (Section 5). Increments
+are intrinsically commutative, so conflict resolution is trivial; the
+only metadata needed is the set of applied operation identifiers, which
+makes the counter idempotent under redelivery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.crdt.base import CRDT
+from repro.errors import CRDTError
+
+
+class GCounter(CRDT):
+    """An operation-based grow-only counter."""
+
+    type_name = "gcounter"
+
+    def __init__(self) -> None:
+        # op_id -> increment amount; the value is the sum.
+        self._increments: Dict[str, float] = {}
+
+    def add(self, value: float, clock: Any, op_id: str) -> None:
+        """Table 1's ``AddValue(value, clock)`` modification API."""
+        self.apply(value, clock, op_id)
+
+    def apply(self, value: Any, clock: Any, op_id: str) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise CRDTError(f"G-Counter increment must be numeric, got {value!r}")
+        if value < 0:
+            raise CRDTError(f"G-Counter is grow-only; increment {value} rejected")
+        # Idempotence: redelivered operations are ignored.
+        self._increments.setdefault(op_id, value)
+
+    def read(self) -> float:
+        total = sum(self._increments.values())
+        return int(total) if float(total).is_integer() else total
+
+    def merge(self, other: CRDT) -> None:
+        if not isinstance(other, GCounter):
+            raise CRDTError(f"cannot merge G-Counter with {other.type_name}")
+        for op_id, value in other._increments.items():
+            self._increments.setdefault(op_id, value)
+
+    def snapshot(self) -> Any:
+        return {"type": self.type_name, "increments": dict(sorted(self._increments.items()))}
+
+    def copy(self) -> "GCounter":
+        clone = GCounter()
+        clone._increments = dict(self._increments)
+        return clone
+
+    def operation_count(self) -> int:
+        return len(self._increments)
+
+    def __repr__(self) -> str:
+        return f"GCounter(value={self.read()}, ops={len(self._increments)})"
+
+
+__all__ = ["GCounter"]

@@ -1,0 +1,95 @@
+"""CRDT modification operations.
+
+Per Section 6, each operation carries four components besides the id of
+the CRDT object it targets:
+
+1. *operation identifier* — unique per CRDT object; the combination of
+   the client's identifier and the client's Lamport clock;
+2. *modification value and type* — the value written and the CRDT type
+   of the modified location;
+3. *client's clock* — the Lamport timestamp used for happened-before;
+4. *operation path* — where in a nested CRDT structure the
+   modification applies, starting from the object's root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.crdt.clock import OpClock, clock_from_wire
+from repro.errors import CRDTError
+
+TYPE_GCOUNTER = "gcounter"
+TYPE_MVREGISTER = "mvregister"
+TYPE_MAP = "map"
+TYPE_ORSET = "orset"  # extension CRDT (Section 5 anticipates further types)
+
+VALUE_TYPES = frozenset({TYPE_GCOUNTER, TYPE_MVREGISTER, TYPE_MAP, TYPE_ORSET})
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single I-confluent modification of a CRDT object."""
+
+    object_id: str
+    path: Tuple[str, ...]
+    value: Any
+    value_type: str
+    clock: Any  # OpClock or VectorClock
+    # Position within the proposal's write-set: a transaction may carry
+    # several operations for the same object under one client clock
+    # (e.g. the synthetic application's OpsPerObjCount), and the index
+    # keeps their identifiers distinct.
+    op_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.value_type not in VALUE_TYPES:
+            raise CRDTError(
+                f"unknown CRDT type {self.value_type!r}; expected one of {sorted(VALUE_TYPES)}"
+            )
+        if not isinstance(self.path, tuple):
+            object.__setattr__(self, "path", tuple(self.path))
+        if self.value_type == TYPE_GCOUNTER:
+            if not isinstance(self.value, (int, float)) or isinstance(self.value, bool):
+                raise CRDTError(f"G-Counter operations need a numeric value, got {self.value!r}")
+            if self.value < 0:
+                raise CRDTError(f"G-Counter is grow-only; negative value {self.value!r} rejected")
+
+    @property
+    def op_id(self) -> str:
+        """Unique id per CRDT object: client id + clock + write-set index."""
+        if isinstance(self.clock, OpClock):
+            return f"{self.clock.client_id}#{self.clock.counter}#{self.op_index}"
+        return f"vc#{hash(self.clock.entries) & 0xFFFFFFFF}#{self.op_index}"
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "object_id": self.object_id,
+            "path": list(self.path),
+            "value": self.value,
+            "value_type": self.value_type,
+            "clock": self.clock.to_wire(),
+            "op_index": self.op_index,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "Operation":
+        return cls(
+            object_id=wire["object_id"],
+            path=tuple(wire["path"]),
+            value=wire["value"],
+            value_type=wire["value_type"],
+            clock=clock_from_wire(wire["clock"]),
+            op_index=int(wire.get("op_index", 0)),
+        )
+
+
+__all__ = [
+    "Operation",
+    "TYPE_GCOUNTER",
+    "TYPE_MVREGISTER",
+    "TYPE_MAP",
+    "TYPE_ORSET",
+    "VALUE_TYPES",
+]

@@ -1,0 +1,124 @@
+"""Observed-Remove Set (OR-Set) — an extension CRDT.
+
+Section 5: "Other use cases may require further CRDTs. For enabling
+the support for other CRDTs, their design requirements, based on the
+available literature, must be added to the system." The OR-Set is the
+canonical set CRDT (Shapiro et al. 2011): additions win over
+concurrent removals, and a removal only deletes the *observed* add
+tags, so adds and removes commute.
+
+Operation encoding (the ``value`` of an ``orset``-typed operation):
+
+* ``{"add": element}`` — the operation's id becomes the add tag;
+* ``{"remove": element, "tags": [tag, ...]}`` — removes the named
+  observed tags. The client learns current tags through the read API
+  (``read_tags``), keeping modify-time execution state-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set
+
+from repro.crdt.base import CRDT
+from repro.crypto.hashing import canonical_bytes
+from repro.errors import CRDTError
+
+
+class ORSet(CRDT):
+    """An operation-based observed-remove set."""
+
+    type_name = "orset"
+
+    def __init__(self) -> None:
+        # element -> set of live add tags.
+        self._tags: Dict[Any, Set[str]] = {}
+        # all tombstoned tags (so a late add with a removed tag stays dead).
+        self._removed: Set[str] = set()
+        self._seen: Set[str] = set()
+
+    def add(self, element: Any, clock: Any, op_id: str) -> None:
+        self.apply({"add": element}, clock, op_id)
+
+    def remove(self, element: Any, tags: List[str], clock: Any, op_id: str) -> None:
+        self.apply({"remove": element, "tags": list(tags)}, clock, op_id)
+
+    def apply(self, value: Any, clock: Any, op_id: str) -> None:
+        if op_id in self._seen:
+            return
+        self._seen.add(op_id)
+        if not isinstance(value, dict) or ("add" not in value and "remove" not in value):
+            raise CRDTError(f"OR-Set operations need an add/remove payload, got {value!r}")
+        if "add" in value:
+            element = self._key(value["add"])
+            if op_id not in self._removed:
+                self._tags.setdefault(element, set()).add(op_id)
+        else:
+            element = self._key(value["remove"])
+            tags = set(value.get("tags") or [])
+            self._removed |= tags
+            live = self._tags.get(element)
+            if live is not None:
+                live -= tags
+                if not live:
+                    del self._tags[element]
+
+    @staticmethod
+    def _key(element: Any) -> Any:
+        # Elements must be hashable wire values; lists normalize to tuples.
+        if isinstance(element, list):
+            return tuple(element)
+        return element
+
+    def read(self) -> List[Any]:
+        """Current elements, deterministically ordered."""
+        return sorted(self._tags, key=canonical_bytes)
+
+    def read_tags(self, element: Any) -> List[str]:
+        """Live add tags for ``element`` (what a remove must name)."""
+        return sorted(self._tags.get(self._key(element), ()))
+
+    def __contains__(self, element: Any) -> bool:
+        return self._key(element) in self._tags
+
+    def merge(self, other: CRDT) -> None:
+        if not isinstance(other, ORSet):
+            raise CRDTError(f"cannot merge OR-Set with {other.type_name}")
+        self._removed |= other._removed
+        for element, tags in other._tags.items():
+            live = self._tags.setdefault(element, set())
+            live |= tags
+        # Re-apply tombstones to everything (including our own adds
+        # whose tags the other replica has removed).
+        for element in list(self._tags):
+            self._tags[element] -= self._removed
+            if not self._tags[element]:
+                del self._tags[element]
+        self._seen |= other._seen
+
+    def snapshot(self) -> Any:
+        return {
+            "type": self.type_name,
+            "elements": {
+                str(canonical_bytes(element)): sorted(tags)
+                for element, tags in sorted(
+                    self._tags.items(), key=lambda kv: canonical_bytes(kv[0])
+                )
+            },
+            "removed": sorted(self._removed),
+        }
+
+    def copy(self) -> "ORSet":
+        clone = ORSet()
+        clone._tags = {element: set(tags) for element, tags in self._tags.items()}
+        clone._removed = set(self._removed)
+        clone._seen = set(self._seen)
+        return clone
+
+    def operation_count(self) -> int:
+        return len(self._seen)
+
+    def __repr__(self) -> str:
+        return f"ORSet(elements={self.read()!r})"
+
+
+__all__ = ["ORSet"]

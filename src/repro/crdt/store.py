@@ -1,0 +1,105 @@
+"""A store of named CRDT objects (the organization's state view).
+
+Each CRDT object has a unique identifier on the ledger (Section 6).
+The store materializes object state from committed operations and
+answers the read API. It backs both the in-memory cache and the
+database-derived state at an organization.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.crdt.apply import apply_operation
+from repro.crdt.base import CRDT
+from repro.crdt.crdtmap import CRDTMap, make_crdt
+from repro.crdt.operation import TYPE_MAP, Operation
+from repro.errors import CRDTError
+
+
+class CRDTStore:
+    """Maps object identifiers to root CRDT instances."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, CRDT] = {}
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._objects
+
+    def object_ids(self) -> List[str]:
+        return sorted(self._objects)
+
+    def get(self, object_id: str) -> CRDT | None:
+        """The root CRDT for ``object_id``, or ``None`` if never touched."""
+        return self._objects.get(object_id)
+
+    def root_for(self, operation: Operation) -> CRDT:
+        """Get or create the root object targeted by ``operation``.
+
+        An operation with a non-empty path implies a map root; a
+        root-addressed operation creates a root of its own type.
+        """
+        root = self._objects.get(operation.object_id)
+        if root is None:
+            root_type = TYPE_MAP if operation.path else operation.value_type
+            root = make_crdt(root_type)
+            self._objects[operation.object_id] = root
+        return root
+
+    def apply(self, operations: Iterable[Operation]) -> None:
+        """Apply operations, creating roots on demand (Algorithm 1)."""
+        for operation in operations:
+            apply_operation(self.root_for(operation), operation)
+
+    def read(self, object_id: str, path: Iterable[str] = ()) -> Any:
+        """Resolved value of the object (optionally a nested path).
+
+        Reads cause no side effects (Table 1). Returns ``None`` for
+        unknown objects or paths.
+        """
+        node = self._objects.get(object_id)
+        path = tuple(path)
+        for index, key in enumerate(path):
+            if not isinstance(node, CRDTMap):
+                return None
+            last = index == len(path) - 1
+            if last:
+                return node.read(key)
+            node = node.get_child(key, TYPE_MAP)
+            if node is None:
+                return None
+        if node is None:
+            return None
+        return node.read()
+
+    def snapshot(self) -> Any:
+        """Canonical state of every object (for convergence checks)."""
+        return {object_id: obj.snapshot() for object_id, obj in sorted(self._objects.items())}
+
+    def merge(self, other: "CRDTStore") -> None:
+        """State join with another store (partition healing)."""
+        for object_id, obj in other._objects.items():
+            mine = self._objects.get(object_id)
+            if mine is None:
+                self._objects[object_id] = obj.copy()
+            elif mine.type_name != obj.type_name:
+                raise CRDTError(
+                    f"object {object_id!r} has type {mine.type_name!r} here and "
+                    f"{obj.type_name!r} there"
+                )
+            else:
+                mine.merge(obj)
+
+    def copy(self) -> "CRDTStore":
+        clone = CRDTStore()
+        clone._objects = {object_id: obj.copy() for object_id, obj in self._objects.items()}
+        return clone
+
+    def operation_count(self) -> int:
+        return sum(obj.operation_count() for obj in self._objects.values())
+
+
+__all__ = ["CRDTStore"]

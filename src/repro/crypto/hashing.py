@@ -1,0 +1,54 @@
+"""Canonical hashing of structured payloads.
+
+All signatures and hash-chain links in the system hash a *canonical*
+byte encoding of the payload, so that two nodes computing the hash of
+the same logical content always agree. The encoding is deterministic
+JSON (sorted keys, no whitespace) with a small extension for bytes and
+tuples, which covers every message type in the protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+GENESIS_HASH = "0" * 64
+"""The hash-chain predecessor of the first block."""
+
+
+def _encode(value: Any) -> Any:
+    """Convert ``value`` into JSON-encodable canonical form.
+
+    Key order need not be normalized here: the final ``json.dumps``
+    uses ``sort_keys=True``, which canonicalizes dictionaries.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(key): _encode(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if hasattr(value, "to_wire"):
+        return _encode(value.to_wire())
+    raise TypeError(f"cannot canonically encode {type(value).__name__}")
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic byte encoding of ``value``."""
+    return json.dumps(_encode(value), sort_keys=True, separators=(",", ":")).encode()
+
+
+def sha256_hex(value: Any) -> str:
+    """Hex SHA-256 of the canonical encoding of ``value``."""
+    return hashlib.sha256(canonical_bytes(value)).hexdigest()
+
+
+def chain_hash(previous_hash: str, payload: Any) -> str:
+    """Hash-chain link: hash of (previous hash, payload)."""
+    return sha256_hex({"prev": previous_hash, "payload": _encode(payload)})
+
+
+__all__ = ["GENESIS_HASH", "canonical_bytes", "sha256_hex", "chain_hash"]

@@ -1,0 +1,117 @@
+"""Identities and the permissioned network's trust anchor.
+
+Every organization and client in OrderlessChain has a unique identifier
+and a key pair, and "the identity of each organization is known to
+every other organization and client" (Section 3). The
+:class:`CertificateAuthority` models the membership service that issues
+and distributes those identities; it is also the hook for revoking a
+Byzantine client's permissions (Section 8 countermeasure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import CryptoError, InvalidSignatureError
+from repro.crypto.hashing import canonical_bytes
+from repro.crypto.keys import KeyPair, generate_keypair, verify_signature
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A public record binding an identifier to a public key."""
+
+    identifier: str
+    role: str  # "organization" | "client" | "orderer" | "sequencer" | "leader"
+    public_key: str
+    scheme: str
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "identifier": self.identifier,
+            "role": self.role,
+            "public_key": self.public_key,
+            "scheme": self.scheme,
+        }
+
+
+@dataclass
+class Identity:
+    """A private identity: certificate plus the signing key."""
+
+    certificate: Certificate
+    keypair: KeyPair = field(repr=False)
+
+    @property
+    def identifier(self) -> str:
+        return self.certificate.identifier
+
+    @property
+    def role(self) -> str:
+        return self.certificate.role
+
+    def sign(self, payload: Any) -> str:
+        """Sign the canonical encoding of ``payload``."""
+        return self.keypair.sign(canonical_bytes(payload))
+
+
+class CertificateAuthority:
+    """Issues identities and verifies signatures network-wide.
+
+    The CA is the simulation's stand-in for the membership service
+    provider of a permissioned blockchain: enrolment, lookup, signature
+    verification, and revocation.
+    """
+
+    def __init__(self, scheme: str = "simulated") -> None:
+        self.scheme = scheme
+        self._certificates: Dict[str, Certificate] = {}
+        self._revoked: set[str] = set()
+
+    def enroll(self, identifier: str, role: str, seed: Optional[bytes] = None) -> Identity:
+        """Issue a new identity; identifiers must be unique."""
+        if identifier in self._certificates:
+            raise CryptoError(f"identifier {identifier!r} already enrolled")
+        keypair = generate_keypair(self.scheme, seed=seed)
+        certificate = Certificate(identifier, role, keypair.public_key, self.scheme)
+        self._certificates[identifier] = certificate
+        return Identity(certificate, keypair)
+
+    def certificate_of(self, identifier: str) -> Certificate:
+        try:
+            return self._certificates[identifier]
+        except KeyError:
+            raise CryptoError(f"unknown identifier {identifier!r}") from None
+
+    def is_enrolled(self, identifier: str) -> bool:
+        return identifier in self._certificates
+
+    def revoke(self, identifier: str) -> None:
+        """Revoke an identity (e.g., a DDoS-ing Byzantine client)."""
+        if identifier not in self._certificates:
+            raise CryptoError(f"unknown identifier {identifier!r}")
+        self._revoked.add(identifier)
+
+    def is_revoked(self, identifier: str) -> bool:
+        return identifier in self._revoked
+
+    def verify(self, identifier: str, payload: Any, signature: str) -> bool:
+        """Check ``signature`` over ``payload`` by ``identifier``.
+
+        Returns ``False`` for unknown or revoked identities and for
+        signatures that do not verify — callers treat all three the
+        same way (the message is not trustworthy).
+        """
+        certificate = self._certificates.get(identifier)
+        if certificate is None or identifier in self._revoked:
+            return False
+        return verify_signature(certificate.scheme, certificate.public_key, canonical_bytes(payload), signature)
+
+    def require_valid(self, identifier: str, payload: Any, signature: str) -> None:
+        """Raise :class:`InvalidSignatureError` unless ``verify`` passes."""
+        if not self.verify(identifier, payload, signature):
+            raise InvalidSignatureError(f"invalid signature from {identifier!r}")
+
+
+__all__ = ["Certificate", "Identity", "CertificateAuthority"]

@@ -1,0 +1,58 @@
+"""Blocks of the append-only hash-chain log.
+
+"For appending the transaction to the log, the organization creates a
+block ``Block_h : <TS_i, Hash(Block_{h-1})>``, which contains the
+transaction and the hash of the last block in the log" (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+from repro.crypto.hashing import sha256_hex
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block: a payload chained to its predecessor's hash."""
+
+    height: int
+    previous_hash: str
+    payload: Any  # a transaction in wire form (plain structures)
+    valid: bool
+
+    @property
+    def block_hash(self) -> str:
+        """Hash of this block (covers height, predecessor, payload, validity).
+
+        Cached after the first computation: blocks are immutable, and
+        the chain recomputes predecessors' hashes on every append.
+        (``tamper`` replaces the whole Block object, so a stale cache
+        cannot mask tampering.)
+        """
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            cached = sha256_hex(self.to_wire())
+            object.__setattr__(self, "_hash_cache", cached)
+        return cached
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "height": self.height,
+            "previous_hash": self.previous_hash,
+            "payload": self.payload,
+            "valid": self.valid,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "Block":
+        return cls(
+            height=int(wire["height"]),
+            previous_hash=wire["previous_hash"],
+            payload=wire["payload"],
+            valid=bool(wire["valid"]),
+        )
+
+
+__all__ = ["Block"]

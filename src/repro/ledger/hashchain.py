@@ -1,0 +1,91 @@
+"""The append-only hash-chain log.
+
+"The hash-chain log contains all transactions the organization has
+received since the beginning of time ... If a Byzantine organization
+tampers with one transaction, the signature on the log and all
+succeeding transactions in the hash-chain log will be invalid"
+(Section 4). :meth:`HashChainLog.verify` implements that tamper check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+from repro.crypto.hashing import GENESIS_HASH
+from repro.errors import LedgerError
+from repro.ledger.block import Block
+
+
+class HashChainLog:
+    """An append-only chain of blocks anchored at the genesis hash."""
+
+    def __init__(self) -> None:
+        self._blocks: List[Block] = []
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    @property
+    def head_hash(self) -> str:
+        """Hash of the last block (genesis hash when empty)."""
+        if not self._blocks:
+            return GENESIS_HASH
+        return self._blocks[-1].block_hash
+
+    def append(self, payload: Any, valid: bool) -> Block:
+        """Chain a new block containing ``payload`` onto the log."""
+        block = Block(
+            height=len(self._blocks),
+            previous_hash=self.head_hash,
+            payload=payload,
+            valid=valid,
+        )
+        self._blocks.append(block)
+        return block
+
+    def block_at(self, height: int) -> Block:
+        try:
+            return self._blocks[height]
+        except IndexError:
+            raise LedgerError(f"no block at height {height}") from None
+
+    def verify(self) -> None:
+        """Walk the chain and raise :class:`LedgerError` on any break."""
+        previous = GENESIS_HASH
+        for height, block in enumerate(self._blocks):
+            if block.height != height:
+                raise LedgerError(f"block at position {height} claims height {block.height}")
+            if block.previous_hash != previous:
+                raise LedgerError(
+                    f"chain break at height {height}: expected predecessor {previous[:12]}…, "
+                    f"block links to {block.previous_hash[:12]}…"
+                )
+            previous = block.block_hash
+
+    def tamper(self, height: int, payload: Any) -> None:
+        """Overwrite a block's payload *without* re-chaining.
+
+        Exists to let tests and Byzantine-behaviour experiments show
+        that tampering is detected: after calling this, ``verify``
+        fails for every later block.
+        """
+        old = self.block_at(height)
+        self._blocks[height] = Block(
+            height=old.height,
+            previous_hash=old.previous_hash,
+            payload=payload,
+            valid=old.valid,
+        )
+
+    def find_payload(self, predicate) -> Optional[Block]:
+        """First block whose payload satisfies ``predicate``."""
+        for block in self._blocks:
+            if predicate(block.payload):
+                return block
+        return None
+
+
+__all__ = ["HashChainLog"]

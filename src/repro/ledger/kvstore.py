@@ -1,0 +1,128 @@
+"""An embedded key-value store with the LevelDB API shape.
+
+The paper's prototype stores committed operations in LevelDB because
+"retrieving the operations from LevelDB is more efficient than
+retrieving them from the log during a cache miss" (Section 6). This
+module provides an in-memory engine with the operations a LevelDB user
+relies on: get/put/delete, atomic write batches, ordered iteration over
+key ranges, and point-in-time snapshots.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class WriteBatch:
+    """A set of writes applied atomically via :meth:`KVStore.write`."""
+
+    def __init__(self) -> None:
+        self._ops: List[Tuple[str, str, Any]] = []
+
+    def put(self, key: str, value: Any) -> "WriteBatch":
+        self._ops.append(("put", key, value))
+        return self
+
+    def delete(self, key: str) -> "WriteBatch":
+        self._ops.append(("delete", key, None))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+
+class KVStore:
+    """An ordered, in-memory key-value store."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+        self._sorted_keys: List[str] = []
+        self._keys_dirty = False
+
+    def _keys(self) -> List[str]:
+        if self._keys_dirty:
+            self._sorted_keys = sorted(self._data)
+            self._keys_dirty = False
+        return self._sorted_keys
+
+    def put(self, key: str, value: Any) -> None:
+        if key not in self._data:
+            self._keys_dirty = True
+        self._data[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def delete(self, key: str) -> None:
+        if key in self._data:
+            del self._data[key]
+            self._keys_dirty = True
+
+    def write(self, batch: WriteBatch) -> None:
+        """Apply a write batch atomically (all or nothing)."""
+        for kind, key, value in batch._ops:
+            if kind == "put":
+                self.put(key, value)
+            else:
+                self.delete(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def scan(
+        self, start: Optional[str] = None, end: Optional[str] = None
+    ) -> Iterator[Tuple[str, Any]]:
+        """Iterate ``(key, value)`` over the half-open range [start, end)."""
+        keys = self._keys()
+        lo = 0 if start is None else bisect.bisect_left(keys, start)
+        hi = len(keys) if end is None else bisect.bisect_left(keys, end)
+        for key in keys[lo:hi]:
+            yield key, self._data[key]
+
+    def scan_prefix(self, prefix: str) -> Iterator[Tuple[str, Any]]:
+        """Iterate all entries whose key starts with ``prefix``."""
+        return self.scan(prefix, prefix + "￿")
+
+    def snapshot(self) -> "KVStore":
+        """A point-in-time copy (LevelDB snapshot semantics)."""
+        clone = KVStore()
+        clone._data = dict(self._data)
+        clone._keys_dirty = True
+        return clone
+
+    # -- persistence --------------------------------------------------
+
+    def dump(self, path: str) -> None:
+        """Persist the store to a JSON file (atomic via temp + rename)."""
+        import json
+        import os
+        import tempfile
+
+        directory = os.path.dirname(os.path.abspath(path))
+        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".kvstore")
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(self._data, handle, separators=(",", ":"))
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "KVStore":
+        """Load a store previously written with :meth:`dump`."""
+        import json
+
+        store = cls()
+        with open(path) as handle:
+            store._data = json.load(handle)
+        store._keys_dirty = True
+        return store
+
+
+__all__ = ["KVStore", "WriteBatch"]

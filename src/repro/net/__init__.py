@@ -1,0 +1,14 @@
+"""Simulated wide-area network.
+
+Models the paper's emulated WAN (Section 9: 100 ms ping delay, 4 ms
+jitter, 100 Mb/s rate control on all links) plus the failure model of
+Section 3: messages "can be delivered in any order differing from the
+sent order; they may also be duplicated, lost, or corrupted during
+transmission."
+"""
+
+from repro.net.latency import LatencyModel, LinkFaults
+from repro.net.message import Message
+from repro.net.network import Network
+
+__all__ = ["LatencyModel", "LinkFaults", "Message", "Network"]

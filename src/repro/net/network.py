@@ -1,0 +1,114 @@
+"""The simulated network connecting all nodes.
+
+Nodes register a delivery handler under their identifier; ``send``
+schedules delivery after a sampled link delay, applying loss,
+duplication, and corruption per the configured fault model. Partitions
+can be installed to exercise the CAP discussion of Section 3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.net.latency import LatencyModel, LinkFaults
+from repro.net.message import Message
+from repro.sim.core import Simulator
+
+DeliveryHandler = Callable[[Message], None]
+
+
+class Network:
+    """Message fabric with WAN latency and Byzantine-era link faults."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[LinkFaults] = None,
+    ) -> None:
+        self._sim = sim
+        self._rng = rng
+        self.latency = latency or LatencyModel()
+        self.faults = faults or LinkFaults()
+        self._handlers: Dict[str, DeliveryHandler] = {}
+        self._partitions: list[Set[str]] = []
+        # Optional per-link latency overrides (unordered pairs), for
+        # multi-datacenter topologies where some links are LAN-fast.
+        self._link_latency: Dict[Tuple[str, str], LatencyModel] = {}
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    # -- membership -----------------------------------------------------
+
+    def register(self, node_id: str, handler: DeliveryHandler) -> None:
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id!r} already registered")
+        self._handlers[node_id] = handler
+
+    def is_registered(self, node_id: str) -> bool:
+        return node_id in self._handlers
+
+    def set_link_latency(self, a: str, b: str, latency: LatencyModel) -> None:
+        """Override the latency model for the (undirected) link a<->b."""
+        self._link_latency[(a, b) if a <= b else (b, a)] = latency
+
+    def _latency_for(self, sender: str, recipient: str) -> LatencyModel:
+        key = (sender, recipient) if sender <= recipient else (recipient, sender)
+        return self._link_latency.get(key, self.latency)
+
+    # -- partitions -------------------------------------------------------
+
+    def partition(self, *groups: Set[str]) -> None:
+        """Split the network: traffic only flows within a group."""
+        self._partitions = [set(group) for group in groups]
+
+    def heal_partition(self) -> None:
+        self._partitions = []
+
+    def _connected(self, sender: str, recipient: str) -> bool:
+        if not self._partitions:
+            return True
+        for group in self._partitions:
+            if sender in group and recipient in group:
+                return True
+        return False
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Send asynchronously; delivery (if any) happens later."""
+        self.sent_count += 1
+        if message.recipient not in self._handlers:
+            self.dropped_count += 1
+            return
+        if not self._connected(message.sender, message.recipient):
+            self.dropped_count += 1
+            return
+        if self.faults.loss_probability and self._rng.random() < self.faults.loss_probability:
+            self.dropped_count += 1
+            return
+        if self.faults.corrupt_probability and self._rng.random() < self.faults.corrupt_probability:
+            message.corrupted = True
+        self._deliver_after_delay(message)
+        if (
+            self.faults.duplicate_probability
+            and self._rng.random() < self.faults.duplicate_probability
+        ):
+            self._deliver_after_delay(message.clone())
+
+    def _deliver_after_delay(self, message: Message) -> None:
+        latency = self._latency_for(message.sender, message.recipient)
+        delay = latency.delay_for(message.size_bytes, self._rng)
+        handler = self._handlers[message.recipient]
+
+        def deliver() -> None:
+            self.delivered_count += 1
+            handler(message)
+
+        self._sim.schedule(delay, deliver)
+
+
+__all__ = ["Network", "DeliveryHandler"]

@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the substrate on which every simulated node
+(organization, client, orderer, sequencer, leader) runs:
+
+* :class:`~repro.sim.core.Simulator` — the event loop;
+* :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AnyOf`, :class:`~repro.sim.events.AllOf` —
+  synchronization primitives;
+* :class:`~repro.sim.process.Process` — generator-based coroutines;
+* :class:`~repro.sim.resources.Resource` and
+  :class:`~repro.sim.resources.Lock` — finite-capacity servers used to
+  model CPU contention and the CRDT-cache lock;
+* :class:`~repro.sim.rng.RngRegistry` — named, seeded random streams so
+  every experiment is reproducible.
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Lock, Resource
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Lock",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Simulator",
+    "Timeout",
+]

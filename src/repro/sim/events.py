@@ -1,0 +1,137 @@
+"""Synchronization primitives for simulated processes.
+
+An :class:`Event` is a one-shot signal carrying an optional value.
+Processes wait on events by yielding them; when the event triggers, the
+process resumes and the ``yield`` expression evaluates to the event's
+value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:
+    from repro.sim.core import Simulator
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Callbacks registered after the event has already triggered are
+    scheduled to run immediately (at the current simulated time), so a
+    process never deadlocks by waiting on a completed event.
+    """
+
+    __slots__ = ("_sim", "_callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._callbacks: list[Callable[[Event], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Fire the event, waking every waiter."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._sim.schedule(0.0, lambda cb=callback: cb(self))
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke ``callback(event)`` once the event has triggered."""
+        if self.triggered:
+            self._sim.schedule(0.0, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        super().__init__(sim)
+        self.delay = delay
+        sim.schedule(delay, lambda: self.trigger(value))
+
+
+class AnyOf(Event):
+    """Triggers when the first of several events triggers.
+
+    The value is the *winning event object*, so the waiter can
+    distinguish (for example) a reply from a timeout::
+
+        winner = yield AnyOf(sim, [reply, sim.timeout(5.0)])
+        if winner is reply: ...
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if not self.triggered:
+            self.trigger(event)
+
+
+class AllOf(Event):
+    """Triggers when all child events have triggered.
+
+    The value is the list of child values, in construction order.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            # Trigger on the next tick to keep semantics uniform.
+            sim.schedule(0.0, lambda: self.trigger([]))
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, _: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.trigger([event.value for event in self.events])
+
+
+class Gate:
+    """A resettable barrier built from one-shot events.
+
+    Waiters call :meth:`wait` to obtain an event for the *current*
+    generation; :meth:`open` wakes them all and starts a new
+    generation. Used for "wake me when a new message arrives" queues.
+    """
+
+    __slots__ = ("_sim", "_event")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._event: Optional[Event] = None
+
+    def wait(self) -> Event:
+        if self._event is None or self._event.triggered:
+            self._event = Event(self._sim)
+        return self._event
+
+    def open(self, value: Any = None) -> None:
+        if self._event is not None and not self._event.triggered:
+            self._event.trigger(value)
+
+
+__all__ = ["Event", "Timeout", "AnyOf", "AllOf", "Gate"]

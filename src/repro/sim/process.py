@@ -1,0 +1,55 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects. Yielding an event suspends the process until the event
+triggers; the ``yield`` expression evaluates to the event's value.
+Returning from the generator completes the process; a process is itself
+an event whose value is the generator's return value, so processes can
+wait on each other.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:
+    from repro.sim.core import Simulator
+
+
+class Process(Event):
+    """A running simulated process (also an event: "process finished")."""
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator[Any, Any, Any], name: str = "") -> None:
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        sim.schedule(0.0, lambda: self._step(None))
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced with context
+            raise SimulationError(
+                f"process {self.name!r} raised {type(exc).__name__}: {exc}\n"
+                + "".join(traceback.format_exception(exc))
+            ) from exc
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}; processes must yield Event objects"
+            )
+        target.add_callback(self._on_target)
+
+    def _on_target(self, event: Event) -> None:
+        self._step(event.value)
+
+
+__all__ = ["Process"]

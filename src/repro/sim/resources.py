@@ -1,0 +1,114 @@
+"""Finite-capacity resources for modeling contention.
+
+A :class:`Resource` is a FIFO server with ``capacity`` slots; it models
+a node's CPU (the paper's VMs have four vCPUs). A :class:`Lock` is a
+capacity-one resource; it models OrderlessChain's CRDT-cache lock,
+which serializes cache reads and writes (Section 9, "the cache's
+locking mechanism ... due to Go language constraints").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:
+    from repro.sim.core import Simulator
+
+
+class Resource:
+    """A FIFO resource with a fixed number of slots.
+
+    Usage inside a process::
+
+        request = resource.request()
+        yield request
+        yield sim.timeout(service_time)
+        resource.release(request)
+
+    or the one-liner ``yield from resource.serve(service_time)``.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+        # Utilization accounting: integral of in_use over time.
+        self._busy_time = 0.0
+        self._last_change = sim.now
+
+    def _account(self) -> None:
+        now = self._sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity busy over [since, now]."""
+        self._account()
+        elapsed = self._sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / (self.capacity * elapsed))
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event triggers when granted."""
+        event = Event(self._sim)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            event.trigger(self)
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Give back a slot obtained through ``request``."""
+        if not request.triggered:
+            # The request was never granted; cancel it instead.
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                raise RuntimeError("releasing a request that was never made") from None
+            return
+        if self._queue:
+            # The slot passes directly to the next waiter: occupancy is
+            # unchanged, so no accounting boundary is needed.
+            waiter = self._queue.popleft()
+            waiter.trigger(self)
+        else:
+            self._account()
+            self._in_use -= 1
+
+    def serve(self, duration: float) -> Generator[Event, Any, None]:
+        """Acquire a slot, hold it for ``duration``, release it."""
+        request = self.request()
+        yield request
+        try:
+            yield self._sim.timeout(duration)
+        finally:
+            self.release(request)
+
+
+class Lock(Resource):
+    """A mutual-exclusion lock (capacity-one resource)."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        super().__init__(sim, capacity=1)
+
+
+__all__ = ["Resource", "Lock"]

@@ -1,0 +1,10 @@
+"""Developer tools around the core library.
+
+* :mod:`repro.tools.iconfluence` — an empirical invariant-confluence
+  checker for smart contracts (in the spirit of the Lucy tool the
+  paper's Discussion cites).
+"""
+
+from repro.tools.iconfluence import IConfluenceReport, check_iconfluence
+
+__all__ = ["IConfluenceReport", "check_iconfluence"]

@@ -1,0 +1,61 @@
+"""Longer-horizon dynamics of the FabricCRDT baseline.
+
+The paper's core criticism of FabricCRDT is temporal: documents grow
+with every modification, so the *same* offered load costs more CPU per
+commit as the run progresses, until latency collapses. These tests
+exercise that trajectory directly (the figure-level benches only see
+its end effect).
+"""
+
+import pytest
+
+from repro.bench import ExperimentConfig, run_experiment
+
+
+def run_fabriccrdt(duration, rate=1500, seed=41):
+    config = ExperimentConfig(
+        system="fabriccrdt",
+        app="voting",
+        num_orgs=8,
+        quorum=4,
+        arrival_rate=rate,
+        duration=duration,
+        scale=20,
+        seed=seed,
+        timeline_bucket=5.0,
+    )
+    return run_experiment(config)
+
+
+def test_latency_grows_over_the_run():
+    result = run_fabriccrdt(duration=25.0)
+    # p99 far exceeds p1: early transactions were cheap, late ones
+    # inherited the grown documents (and the orderer backlog).
+    assert result.latency_modify.p99_ms > 3 * result.latency_modify.p1_ms
+
+
+def test_longer_runs_have_worse_average_latency():
+    short = run_fabriccrdt(duration=10.0)
+    long = run_fabriccrdt(duration=30.0)
+    assert long.latency_modify.avg_ms > 1.3 * short.latency_modify.avg_ms
+
+
+def test_orderlesschain_is_time_stable_under_the_same_load():
+    # The contrast the paper draws: operation-based CRDTs do not grow
+    # per-commit costs, so OrderlessChain's latency is flat in time.
+    def run_orderless(duration):
+        config = ExperimentConfig(
+            system="orderlesschain",
+            app="voting",
+            num_orgs=8,
+            quorum=4,
+            arrival_rate=1500,
+            duration=duration,
+            scale=20,
+            seed=41,
+        )
+        return run_experiment(config)
+
+    short = run_orderless(10.0)
+    long = run_orderless(30.0)
+    assert long.latency_modify.avg_ms == pytest.approx(short.latency_modify.avg_ms, rel=0.25)

@@ -1,0 +1,69 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.bench.config import ByzantineWindow, ExperimentConfig
+from repro.errors import ConfigError
+
+
+def test_defaults_match_table_2():
+    config = ExperimentConfig(scale=1)
+    assert config.arrival_rate == 3000.0
+    assert config.num_orgs == 16
+    assert config.quorum == 4
+    assert config.obj_count == 1
+    assert config.ops_per_obj == 1
+    assert config.crdt_type == "gcounter"
+    assert config.modify_ratio == 0.5
+    assert config.gossip_fanout == 1
+    assert config.num_clients == 1000
+    assert config.duration == 180.0
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ExperimentConfig(system="ethereum")
+    with pytest.raises(ConfigError):
+        ExperimentConfig(app="poker")
+    with pytest.raises(ConfigError):
+        ExperimentConfig(quorum=99)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(modify_ratio=1.5)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(scale=0)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(byzantine_client_fraction=2.0)
+
+
+def test_scale_divides_rates_and_clients():
+    config = ExperimentConfig(arrival_rate=3000, num_clients=1000, scale=10)
+    assert config.effective_rate == 300.0
+    assert config.effective_clients == 100
+
+
+def test_effective_clients_has_floor():
+    config = ExperimentConfig(num_clients=10, scale=10)
+    assert config.effective_clients >= 4
+
+
+def test_perf_is_scaled():
+    config = ExperimentConfig(scale=10)
+    perf = config.perf()
+    assert perf.endorse_base == pytest.approx(0.010)
+    # Latency constants do not scale.
+    assert perf.hotstuff_delta == pytest.approx(0.05)
+    assert perf.fabric_batch_timeout == pytest.approx(0.25)
+
+
+def test_with_replaces_fields():
+    config = ExperimentConfig(scale=5)
+    swept = config.with_(arrival_rate=500)
+    assert swept.arrival_rate == 500
+    assert swept.scale == 5
+    assert config.arrival_rate == 3000
+
+
+def test_byzantine_window_shape():
+    window = ByzantineWindow(count=3, start=30.0, end=70.0)
+    config = ExperimentConfig(byzantine_org_windows=(window,))
+    assert config.byzantine_org_windows[0].count == 3

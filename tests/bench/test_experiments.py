@@ -1,0 +1,95 @@
+"""Smoke tests for the per-figure experiment functions.
+
+Each sweep runs at a tiny scale (high scale-down, short duration) —
+enough to exercise configuration plumbing and result shapes; the
+paper-shape assertions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench import experiments
+
+TINY = dict(duration=4.0, scale=60.0, seed=7)
+
+
+def test_fig6a_shape():
+    results = experiments.fig6a_arrival_rate(rates=[1000, 3000], **TINY)
+    assert [rate for rate, _ in results] == [1000, 3000]
+    assert all(r.committed > 0 for _, r in results)
+
+
+def test_fig6b_shape():
+    results = experiments.fig6b_organizations(org_counts=[8, 16], **TINY)
+    assert [n for n, _ in results] == [8, 16]
+
+
+def test_fig6c_labels():
+    results = experiments.fig6c_endorsement_policy(quorums=[2, 4], **TINY)
+    assert [label for label, _ in results] == ["2 of 16", "4 of 16"]
+
+
+def test_fig6d_shape():
+    results = experiments.fig6d_object_count(object_counts=[2, 4], **TINY)
+    assert all(r.committed > 0 for _, r in results)
+
+
+def test_text_configs_run():
+    assert len(experiments.text_config_ops_per_object(ops_counts=[2], **TINY)) == 1
+    assert len(experiments.text_config_crdt_type(**TINY)) == 3
+    mixes = experiments.text_config_workload_mix(**TINY)
+    assert [label for label, _ in mixes] == ["R10M90", "R30M70", "R50M50", "R70M30", "R90M10"]
+    skew = experiments.text_config_workload_skew(**TINY)
+    assert [label for label, _ in skew] == ["uniform", "normal"]
+    assert len(experiments.text_config_gossip_ratio(ratios=[1, 15], **TINY)) == 2
+
+
+def test_fig7_series_per_org_count():
+    series = experiments.fig7_latency_vs_throughput(
+        org_counts=[16], rates=[1000, 2000], **TINY
+    )
+    assert set(series) == {"16 orgs"}
+    assert len(series["16 orgs"]) == 2
+
+
+def test_fig8_timeline_and_failures():
+    result = experiments.fig8_byzantine_orgs(
+        avoidance=False, duration=24.0, scale=60.0, seed=3, arrival_rate=3000
+    )
+    assert result.timeline  # bucketized committed throughput
+    assert result.failed > 0  # the f:3 window hurts
+
+
+def test_fig8_byzantine_clients():
+    results = experiments.fig8_text_byzantine_clients(fractions=[0.5], **TINY)
+    label, result = results[0]
+    assert label == "50%"
+    assert result.failed > 0
+
+
+def test_fig9_and_fig10_series():
+    fig9 = experiments.fig9_comparison("voting", rates=[500], **TINY)
+    assert set(fig9) == {"orderlesschain", "fabric", "fabriccrdt"}
+    fig10 = experiments.fig10_comparison("auction", rates=[500], **TINY)
+    assert set(fig10) == {"orderlesschain", "bidl", "synchotstuff"}
+
+
+def test_table3_systems_and_phases():
+    rows = experiments.table3_breakdown(**TINY)
+    assert set(rows) == {"orderlesschain", "fabric", "bidl", "synchotstuff"}
+    assert "orderlesschain/P1/Execution" in rows["orderlesschain"]
+    assert "fabric/P2/Consensus" in rows["fabric"]
+
+
+def test_ablations_run():
+    cache = dict(experiments.ablation_cache(**TINY))
+    assert set(cache) == {"cache on", "cache off"}
+    orderers = dict(experiments.ablation_fabric_orderer(**TINY))
+    assert set(orderers) == {"solo", "raft"}
+    gossip = experiments.ablation_gossip_interval(intervals=[1.0], **TINY)
+    assert len(gossip) == 1
+
+
+def test_resource_utilization_comparison():
+    utilizations = experiments.resource_utilization_comparison(**TINY)
+    assert set(utilizations) == {"orderlesschain", "fabric"}
+    assert all(0.0 <= u <= 1.0 for u in utilizations.values())

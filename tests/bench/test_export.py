@@ -1,0 +1,84 @@
+"""Tests for result export (JSON/CSV)."""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.export import (
+    comparison_to_records,
+    records_to_csv,
+    result_to_record,
+    sweep_to_records,
+    to_json,
+)
+from repro.bench.metrics import ExperimentResult, LatencyStats
+
+
+def make_result(**overrides):
+    defaults = dict(
+        system="orderlesschain",
+        app="voting",
+        arrival_rate=1000.0,
+        duration=20.0,
+        submitted=100,
+        committed=95,
+        failed=5,
+        throughput_tps=950.0,
+        throughput_modify_tps=475.0,
+        throughput_read_tps=475.0,
+        latency_modify=LatencyStats(95, 250.0, 200.0, 400.0),
+        latency_read=LatencyStats(0, math.nan, math.nan, math.nan),
+        timeline=[(0.0, 100.0)],
+        extra={"mean_org_cpu_utilization": 0.4},
+    )
+    defaults.update(overrides)
+    return ExperimentResult(**defaults)
+
+
+def test_record_is_json_safe():
+    record = result_to_record(make_result())
+    text = json.dumps(record)  # must not raise (NaN became None)
+    restored = json.loads(text)
+    assert restored["latency_read_avg_ms"] is None
+    assert restored["latency_modify_avg_ms"] == 250.0
+    assert restored["extra"]["mean_org_cpu_utilization"] == 0.4
+    assert restored["timeline"] == [[0.0, 100.0]]
+
+
+def test_sweep_records_carry_x_value():
+    records = sweep_to_records([(1000, make_result()), (2000, make_result())], x_label="rate")
+    assert [r["rate"] for r in records] == [1000, 2000]
+
+
+def test_comparison_records_per_system():
+    series = {
+        "orderlesschain": [(1, make_result())],
+        "fabric": [(1, make_result(system="fabric"))],
+    }
+    records = comparison_to_records(series, x_label="rate")
+    assert set(records) == {"orderlesschain", "fabric"}
+    assert records["fabric"][0]["system"] == "fabric"
+
+
+def test_to_json_writes_file(tmp_path):
+    path = str(tmp_path / "out.json")
+    text = to_json({"a": 1}, path=path)
+    assert json.loads(text) == {"a": 1}
+    assert json.loads(open(path).read()) == {"a": 1}
+
+
+def test_csv_has_header_and_rows(tmp_path):
+    records = sweep_to_records([(1000, make_result())], x_label="rate")
+    path = str(tmp_path / "out.csv")
+    text = records_to_csv(records, path=path)
+    lines = text.strip().splitlines()
+    assert len(lines) == 2
+    assert "throughput_tps" in lines[0]
+    assert "rate" in lines[0]
+    assert "950.0" in lines[1]
+    assert open(path).read() == text
+
+
+def test_csv_of_empty_records():
+    assert records_to_csv([]).strip().splitlines()[0].startswith("system")

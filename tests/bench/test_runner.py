@@ -1,0 +1,97 @@
+"""Tests for the experiment runner (small, fast configurations)."""
+
+import pytest
+
+from repro.bench import ExperimentConfig, run_experiment
+from repro.bench.config import ByzantineWindow
+
+FAST = dict(arrival_rate=200, num_clients=40, duration=6.0, scale=10, drain=6.0, seed=11)
+
+
+def test_orderlesschain_synthetic_run():
+    result = run_experiment(ExperimentConfig(system="orderlesschain", app="synthetic", **FAST))
+    assert result.committed > 0
+    assert result.failed == 0
+    assert result.throughput_tps > 0
+    assert result.latency_modify.count > 0
+    assert result.latency_read.count > 0
+    # Throughput is reported in paper-scale units (scale-multiplied).
+    assert result.throughput_tps == pytest.approx(200, rel=0.35)
+
+
+def test_runs_are_deterministic_for_a_seed():
+    config = ExperimentConfig(system="orderlesschain", app="synthetic", **FAST)
+    a = run_experiment(config)
+    b = run_experiment(config)
+    assert a.committed == b.committed
+    assert a.latency_modify.avg_ms == b.latency_modify.avg_ms
+
+
+def test_different_seeds_differ():
+    base = dict(FAST)
+    a = run_experiment(ExperimentConfig(system="orderlesschain", app="synthetic", **base))
+    base["seed"] = 12
+    b = run_experiment(ExperimentConfig(system="orderlesschain", app="synthetic", **base))
+    assert a.latency_modify.avg_ms != b.latency_modify.avg_ms
+
+
+@pytest.mark.parametrize("system", ["fabric", "fabriccrdt", "bidl", "synchotstuff"])
+def test_baseline_systems_run(system):
+    config = ExperimentConfig(
+        system=system,
+        app="voting",
+        num_orgs=8 if system in ("fabric", "fabriccrdt") else 16,
+        quorum=4,
+        **FAST,
+    )
+    result = run_experiment(config)
+    assert result.committed > 0
+    assert result.latency_modify.count > 0
+
+
+def test_byzantine_org_window_reduces_throughput():
+    base = dict(FAST, duration=12.0, arrival_rate=300)
+    healthy = run_experiment(
+        ExperimentConfig(system="orderlesschain", app="synthetic", **base)
+    )
+    byzantine = run_experiment(
+        ExperimentConfig(
+            system="orderlesschain",
+            app="synthetic",
+            byzantine_org_windows=(ByzantineWindow(count=3, start=0.0, end=None),),
+            **base,
+        )
+    )
+    assert byzantine.committed < healthy.committed
+    assert byzantine.failed > 0
+
+
+def test_byzantine_clients_all_rejected_system_stays_safe():
+    result = run_experiment(
+        ExperimentConfig(
+            system="orderlesschain",
+            app="synthetic",
+            byzantine_client_fraction=0.5,
+            byzantine_client_faults=("tamper",),
+            **FAST,
+        )
+    )
+    # Tampered transactions are rejected; honest ones commit.
+    assert result.failed > 0
+    assert result.committed > 0
+    assert "rejected" in result.failure_reasons
+
+
+def test_phase_breakdown_present():
+    result = run_experiment(ExperimentConfig(system="orderlesschain", app="synthetic", **FAST))
+    assert "orderlesschain/P1/Execution" in result.phase_means_ms
+    assert "orderlesschain/P2/Commit" in result.phase_means_ms
+
+
+def test_timeline_covers_run():
+    config = ExperimentConfig(
+        system="orderlesschain", app="synthetic", timeline_bucket=2.0, **FAST
+    )
+    result = run_experiment(config)
+    assert len(result.timeline) >= 3
+    assert all(tps >= 0 for _, tps in result.timeline)

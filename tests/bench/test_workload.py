@@ -1,0 +1,91 @@
+"""Tests for workload generation."""
+
+import random
+
+import pytest
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.workload import (
+    AuctionWorkload,
+    SyntheticWorkload,
+    VotingWorkload,
+    make_workload,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+def test_make_workload_dispatch():
+    assert isinstance(make_workload(ExperimentConfig(app="synthetic", scale=1)), SyntheticWorkload)
+    assert isinstance(make_workload(ExperimentConfig(app="voting", scale=1)), VotingWorkload)
+    assert isinstance(make_workload(ExperimentConfig(app="auction", scale=1)), AuctionWorkload)
+
+
+class TestSyntheticWorkload:
+    def test_orderless_modify_params(self, rng):
+        workload = SyntheticWorkload(
+            ExperimentConfig(app="synthetic", obj_count=3, ops_per_obj=2, crdt_type="map", scale=1)
+        )
+        contract_id, function, params = workload.orderless_modify(rng, "c0")
+        assert (contract_id, function) == ("synthetic", "modify")
+        assert len(params["object_indexes"]) == 3
+        assert len(set(params["object_indexes"])) == 3
+        assert params["ops_per_object"] == 2
+        assert params["crdt_type"] == "map"
+
+    def test_pool_never_smaller_than_obj_count(self, rng):
+        workload = SyntheticWorkload(
+            ExperimentConfig(app="synthetic", obj_count=16, object_pool=64, scale=100)
+        )
+        _, _, params = workload.orderless_modify(rng, "c0")
+        assert len(params["object_indexes"]) == 16
+
+    def test_key_pool_shrinks_with_scale(self):
+        small = SyntheticWorkload(ExperimentConfig(app="synthetic", scale=16))
+        full = SyntheticWorkload(ExperimentConfig(app="synthetic", scale=1))
+        assert small.object_pool == full.object_pool / 16
+
+
+class TestVotingWorkload:
+    def test_voter_is_the_client(self, rng):
+        workload = VotingWorkload(ExperimentConfig(app="voting", scale=1))
+        params = workload.baseline_modify(rng, "client7")
+        assert params["voter"] == "client7"
+        assert params["party"].startswith("party")
+        assert params["election"].startswith("e")
+
+    def test_orderless_form_has_no_voter_param(self, rng):
+        workload = VotingWorkload(ExperimentConfig(app="voting", scale=1))
+        _, function, params = workload.orderless_modify(rng, "client7")
+        assert function == "vote"
+        assert "voter" not in params  # the client identity is implicit
+
+    def test_paper_defaults_eight_elections_eight_parties(self, rng):
+        workload = VotingWorkload(ExperimentConfig(app="voting", scale=1))
+        assert len(workload.elections) == 8
+        assert len(workload.parties) == 8
+
+
+class TestAuctionWorkload:
+    def test_cumulative_tracking_for_state_based_baseline(self, rng):
+        workload = AuctionWorkload(ExperimentConfig(app="auction", scale=16))
+        first = workload.baseline_modify(rng, "bidder0")
+        second = workload.baseline_modify(rng, "bidder0")
+        if first["auction"] == second["auction"]:
+            assert second["cumulative"] == first["cumulative"] + second["amount"]
+        assert first["cumulative"] == first["amount"]
+
+    def test_amounts_positive(self, rng):
+        workload = AuctionWorkload(ExperimentConfig(app="auction", scale=1))
+        for _ in range(50):
+            _, _, params = workload.orderless_modify(rng, "b")
+            assert params["amount"] > 0
+
+    def test_read_params(self, rng):
+        workload = AuctionWorkload(ExperimentConfig(app="auction", scale=1))
+        _, function, params = workload.orderless_read(rng, "b")
+        assert function == "get_highest_bid"
+        assert params["auction"].startswith("a")

@@ -1,0 +1,44 @@
+"""Shared helpers for contract tests.
+
+Contracts are tested without the network: modify functions run in a
+plain :class:`ContractContext` and the emitted write-sets are applied
+to a local :class:`CRDTStore`, which then backs read functions.
+"""
+
+import pytest
+
+from repro.core.contract import ContractContext, StateReader
+from repro.crdt import CRDTStore
+from repro.crdt.clock import LamportClock
+
+
+class ContractHarness:
+    """Run contract functions against a local CRDT store."""
+
+    def __init__(self, contract):
+        self.contract = contract
+        self.store = CRDTStore()
+        self._clocks = {}
+
+    def modify(self, client_id, function, **params):
+        clock = self._clocks.setdefault(client_id, LamportClock(client_id))
+        ctx = ContractContext(client_id, clock.tick())
+        self.contract.execute(ctx, function, params)
+        write_set = ctx.write_set()
+        self.store.apply(write_set)
+        return write_set
+
+    def read(self, client_id, function, **params):
+        clock = self._clocks.setdefault(client_id, LamportClock(client_id))
+        ctx = ContractContext(
+            client_id,
+            clock.tick(),
+            state=StateReader(lambda object_id, path: self.store.read(object_id, path)),
+            allow_reads=True,
+        )
+        return self.contract.execute(ctx, function, params)
+
+
+@pytest.fixture
+def harness():
+    return ContractHarness

@@ -1,0 +1,70 @@
+"""Tests for the auction smart contract (Section 5)."""
+
+import pytest
+
+from repro.contracts import AuctionContract
+from repro.errors import ContractError
+
+
+@pytest.fixture
+def auction(harness):
+    return harness(AuctionContract())
+
+
+def test_bid_emits_single_gcounter_operation(auction):
+    write_set = auction.modify("bidder0", "bid", auction="a0", amount=10)
+    assert len(write_set) == 1
+    op = write_set[0]
+    assert op.value_type == "gcounter"
+    assert op.object_id == "auction/a0"
+    assert op.path == ("bidder0",)
+    assert op.value == 10
+
+
+def test_bids_accumulate_per_bidder(auction):
+    auction.modify("bidder0", "bid", auction="a0", amount=10)
+    auction.modify("bidder0", "bid", auction="a0", amount=5)
+    assert auction.read("x", "get_bid", auction="a0", bidder="bidder0") == 15
+
+
+def test_increase_only_invariant(auction):
+    # The G-Counter rejects non-positive increases at the contract and
+    # negative increments at the CRDT level (increase-only bids).
+    with pytest.raises(ContractError):
+        auction.modify("bidder0", "bid", auction="a0", amount=0)
+    with pytest.raises(ContractError):
+        auction.modify("bidder0", "bid", auction="a0", amount=-5)
+
+
+def test_highest_bid(auction):
+    auction.modify("alice", "bid", auction="a0", amount=10)
+    auction.modify("bob", "bid", auction="a0", amount=7)
+    auction.modify("bob", "bid", auction="a0", amount=8)
+    highest = auction.read("x", "get_highest_bid", auction="a0")
+    assert highest == {"bidder": "bob", "amount": 15}
+
+
+def test_highest_bid_empty_auction(auction):
+    assert auction.read("x", "get_highest_bid", auction="empty") is None
+
+
+def test_auctions_are_isolated(auction):
+    auction.modify("alice", "bid", auction="a0", amount=10)
+    auction.modify("alice", "bid", auction="a1", amount=3)
+    assert auction.read("x", "get_bid", auction="a0", bidder="alice") == 10
+    assert auction.read("x", "get_bid", auction="a1", bidder="alice") == 3
+
+
+def test_unknown_bidder_reads_none(auction):
+    auction.modify("alice", "bid", auction="a0", amount=1)
+    assert auction.read("x", "get_bid", auction="a0", bidder="ghost") is None
+
+
+def test_highest_bid_tie_is_deterministic(auction):
+    auction.modify("alice", "bid", auction="a0", amount=10)
+    auction.modify("bob", "bid", auction="a0", amount=10)
+    # Ties resolve to the first bidder in sorted order.
+    assert auction.read("x", "get_highest_bid", auction="a0") == {
+        "bidder": "alice",
+        "amount": 10,
+    }

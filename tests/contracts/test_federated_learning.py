@@ -1,0 +1,62 @@
+"""Tests for the OrderlessFL contract (PoC application)."""
+
+import pytest
+
+from repro.contracts import FederatedLearningContract
+from repro.errors import ContractError
+
+
+@pytest.fixture
+def fl(harness):
+    return harness(FederatedLearningContract())
+
+
+def test_submit_and_collect_round_updates(fl):
+    fl.modify("trainer0", "submit_update", model="m", round_id=1, weights=[1.0, 2.0])
+    fl.modify("trainer1", "submit_update", model="m", round_id=1, weights=[3.0, 4.0])
+    updates = fl.read("x", "round_updates", model="m", round_id=1)
+    assert updates == {"trainer0": [1.0, 2.0], "trainer1": [3.0, 4.0]}
+
+
+def test_aggregate_is_federated_average(fl):
+    fl.modify("trainer0", "submit_update", model="m", round_id=1, weights=[1.0, 2.0])
+    fl.modify("trainer1", "submit_update", model="m", round_id=1, weights=[3.0, 4.0])
+    assert fl.read("x", "aggregate", model="m", round_id=1) == [2.0, 3.0]
+
+
+def test_aggregate_order_independence(fl, harness):
+    other = harness(FederatedLearningContract())
+    other.modify("trainer1", "submit_update", model="m", round_id=1, weights=[3.0, 4.0])
+    other.modify("trainer0", "submit_update", model="m", round_id=1, weights=[1.0, 2.0])
+    fl.modify("trainer0", "submit_update", model="m", round_id=1, weights=[1.0, 2.0])
+    fl.modify("trainer1", "submit_update", model="m", round_id=1, weights=[3.0, 4.0])
+    assert fl.read("x", "aggregate", model="m", round_id=1) == other.read(
+        "x", "aggregate", model="m", round_id=1
+    )
+
+
+def test_trainer_resubmission_overwrites_own_update(fl):
+    fl.modify("trainer0", "submit_update", model="m", round_id=1, weights=[1.0])
+    fl.modify("trainer0", "submit_update", model="m", round_id=1, weights=[9.0])
+    assert fl.read("x", "round_updates", model="m", round_id=1) == {"trainer0": [9.0]}
+
+
+def test_round_progress_counts_submissions(fl):
+    assert fl.read("x", "round_progress", model="m", round_id=1) == 0
+    fl.modify("trainer0", "submit_update", model="m", round_id=1, weights=[1.0])
+    fl.modify("trainer1", "submit_update", model="m", round_id=1, weights=[1.0])
+    assert fl.read("x", "round_progress", model="m", round_id=1) == 2
+
+
+def test_rounds_are_isolated(fl):
+    fl.modify("trainer0", "submit_update", model="m", round_id=1, weights=[1.0])
+    assert fl.read("x", "aggregate", model="m", round_id=2) is None
+
+
+def test_empty_weights_rejected(fl):
+    with pytest.raises(ContractError):
+        fl.modify("trainer0", "submit_update", model="m", round_id=1, weights=[])
+
+
+def test_aggregate_empty_round(fl):
+    assert fl.read("x", "aggregate", model="m", round_id=7) is None

@@ -1,0 +1,62 @@
+"""Tests for the OrderlessFile contract (PoC application)."""
+
+import pytest
+
+from repro.contracts import FileStorageContract
+from repro.errors import ContractError
+
+
+@pytest.fixture
+def files(harness):
+    return harness(FileStorageContract())
+
+
+def test_put_and_stat(files):
+    files.modify("alice", "put_file", volume="v", path="/doc.txt", content_hash="abc", size=12)
+    stat = files.read("x", "stat_file", volume="v", path="/doc.txt")
+    assert stat == {"hash": "abc", "size": 12, "writer": "alice"}
+
+
+def test_put_requires_hash_and_size(files):
+    with pytest.raises(ContractError):
+        files.modify("alice", "put_file", volume="v", path="/f", content_hash="", size=1)
+    with pytest.raises(ContractError):
+        files.modify("alice", "put_file", volume="v", path="/f", content_hash="h", size=-1)
+
+
+def test_same_writer_overwrites(files):
+    files.modify("alice", "put_file", volume="v", path="/f", content_hash="v1", size=1)
+    files.modify("alice", "put_file", volume="v", path="/f", content_hash="v2", size=2)
+    assert files.read("x", "stat_file", volume="v", path="/f")["hash"] == "v2"
+
+
+def test_concurrent_writers_surface_conflict(files):
+    files.modify("alice", "put_file", volume="v", path="/f", content_hash="a", size=1)
+    files.modify("bob", "put_file", volume="v", path="/f", content_hash="b", size=1)
+    stat = files.read("x", "stat_file", volume="v", path="/f")
+    assert isinstance(stat, list)
+    assert {entry["writer"] for entry in stat} == {"alice", "bob"}
+
+
+def test_delete_removes_from_listing(files):
+    files.modify("alice", "put_file", volume="v", path="/a", content_hash="h", size=1)
+    files.modify("alice", "put_file", volume="v", path="/b", content_hash="h", size=1)
+    files.modify("alice", "delete_file", volume="v", path="/a")
+    assert files.read("x", "list_files", volume="v") == ["/b"]
+    assert files.read("x", "stat_file", volume="v", path="/a") is None
+
+
+def test_list_empty_volume(files):
+    assert files.read("x", "list_files", volume="empty") == []
+
+
+def test_volumes_are_isolated(files):
+    files.modify("alice", "put_file", volume="v1", path="/f", content_hash="h", size=1)
+    assert files.read("x", "list_files", volume="v2") == []
+
+
+def test_content_hash_helper():
+    digest = FileStorageContract.content_hash(b"hello")
+    assert len(digest) == 64
+    assert digest == FileStorageContract.content_hash(b"hello")
+    assert digest != FileStorageContract.content_hash(b"world")

@@ -1,0 +1,52 @@
+"""Tests for the IoT supply-chain contract (PoC application)."""
+
+import pytest
+
+from repro.contracts import SupplyChainContract
+from repro.errors import ContractError
+
+
+@pytest.fixture
+def chain(harness):
+    return harness(SupplyChainContract(max_temperature=8.0))
+
+
+def test_readings_accumulate_per_sensor(chain):
+    chain.modify("sensor0", "record_reading", shipment="s1", reading_id="r1", temperature=4.0)
+    chain.modify("sensor1", "record_reading", shipment="s1", reading_id="r1", temperature=5.0)
+    health = chain.read("x", "shipment_health", shipment="s1")
+    assert health["readings"] == 2
+    assert health["violations"] == 0
+
+
+def test_violations_counted_above_threshold(chain):
+    chain.modify("sensor0", "record_reading", shipment="s1", reading_id="r1", temperature=9.5)
+    chain.modify("sensor0", "record_reading", shipment="s1", reading_id="r2", temperature=12.0)
+    chain.modify("sensor0", "record_reading", shipment="s1", reading_id="r3", temperature=3.0)
+    health = chain.read("x", "shipment_health", shipment="s1")
+    assert health["violations"] == 2
+    assert health["readings"] == 3
+
+
+def test_non_numeric_temperature_rejected(chain):
+    with pytest.raises(ContractError):
+        chain.modify("sensor0", "record_reading", shipment="s1", reading_id="r", temperature="hot")
+
+
+def test_custody_transfers_follow_happened_before(chain):
+    chain.modify("courier", "transfer_custody", shipment="s1", holder="warehouse")
+    chain.modify("courier", "transfer_custody", shipment="s1", holder="truck-7")
+    assert chain.read("x", "shipment_health", shipment="s1")["custody"] == "truck-7"
+
+
+def test_concurrent_custody_claims_both_visible(chain):
+    chain.modify("courier-a", "transfer_custody", shipment="s1", holder="depot-a")
+    chain.modify("courier-b", "transfer_custody", shipment="s1", holder="depot-b")
+    custody = chain.read("x", "shipment_health", shipment="s1")["custody"]
+    assert custody == ["depot-a", "depot-b"]
+
+
+def test_shipments_are_isolated(chain):
+    chain.modify("sensor0", "record_reading", shipment="s1", reading_id="r", temperature=10.0)
+    health = chain.read("x", "shipment_health", shipment="s2")
+    assert health == {"readings": 0, "violations": 0, "custody": None}

@@ -1,0 +1,51 @@
+"""Tests for the synthetic evaluation contract (Section 9)."""
+
+import pytest
+
+from repro.contracts import SyntheticContract
+from repro.errors import ContractError
+
+
+@pytest.fixture
+def synthetic(harness):
+    return harness(SyntheticContract())
+
+
+def test_write_set_size_is_objects_times_ops(synthetic):
+    write_set = synthetic.modify(
+        "c0", "modify", object_indexes=[0, 1, 2], ops_per_object=4, crdt_type="gcounter"
+    )
+    assert len(write_set) == 12
+    assert len({op.op_id for op in write_set}) == 12  # all ids distinct
+
+
+def test_gcounter_modifications_accumulate(synthetic):
+    synthetic.modify("c0", "modify", object_indexes=[0], ops_per_object=3, crdt_type="gcounter")
+    synthetic.modify("c1", "modify", object_indexes=[0], ops_per_object=2, crdt_type="gcounter")
+    assert synthetic.read("x", "read", object_indexes=[0]) == [5]
+
+
+def test_mvregister_modifications(synthetic):
+    synthetic.modify("c0", "modify", object_indexes=[1], ops_per_object=1, crdt_type="mvregister")
+    value = synthetic.read("x", "read", object_indexes=[1])[0]
+    assert value == ["c0:1:0"]
+
+
+def test_map_modifications(synthetic):
+    synthetic.modify("c0", "modify", object_indexes=[2], ops_per_object=2, crdt_type="map")
+    value = synthetic.read("x", "read", object_indexes=[2])
+    assert value == [{"c0/0": 1, "c0/1": 1}]
+
+
+def test_unknown_crdt_type_rejected(synthetic):
+    with pytest.raises(ContractError):
+        synthetic.modify("c0", "modify", object_indexes=[0], ops_per_object=1, crdt_type="lww")
+
+
+def test_zero_ops_rejected(synthetic):
+    with pytest.raises(ContractError):
+        synthetic.modify("c0", "modify", object_indexes=[0], ops_per_object=0, crdt_type="gcounter")
+
+
+def test_read_unknown_objects_returns_none(synthetic):
+    assert synthetic.read("x", "read", object_indexes=[99]) == [None]

@@ -1,0 +1,78 @@
+"""Tests for the voting smart contract (Sections 5-7)."""
+
+import pytest
+
+from repro.contracts import VotingContract
+from repro.errors import ContractError
+
+
+@pytest.fixture
+def voting(harness):
+    return harness(VotingContract(parties_per_election=4))
+
+
+def test_vote_emits_one_operation_per_party(voting):
+    # Section 6: a vote for P1 among n parties creates n operations —
+    # true on the elected party, false on every other.
+    write_set = voting.modify("voter0", "vote", party="party1", election="e0")
+    assert len(write_set) == 4
+    by_object = {op.object_id: op.value for op in write_set}
+    assert by_object["voting/e0/party1"] is True
+    assert by_object["voting/e0/party0"] is False
+    assert by_object["voting/e0/party2"] is False
+    assert by_object["voting/e0/party3"] is False
+
+
+def test_unknown_party_rejected(voting):
+    with pytest.raises(ContractError):
+        voting.modify("voter0", "vote", party="party9", election="e0")
+
+
+def test_vote_count(voting):
+    voting.modify("voter0", "vote", party="party1", election="e0")
+    voting.modify("voter1", "vote", party="party1", election="e0")
+    voting.modify("voter2", "vote", party="party2", election="e0")
+    assert voting.read("anyone", "read_vote_count", party="party1", election="e0") == 2
+    assert voting.read("anyone", "read_vote_count", party="party2", election="e0") == 1
+    assert voting.read("anyone", "read_vote_count", party="party3", election="e0") == 0
+
+
+def test_maximally_one_vote_per_voter_invariant(voting):
+    # Figure 5: a re-vote happens-after and overwrites the first vote.
+    voting.modify("voter0", "vote", party="party0", election="e0")
+    voting.modify("voter0", "vote", party="party1", election="e0")
+    assert voting.read("x", "read_vote_count", party="party0", election="e0") == 0
+    assert voting.read("x", "read_vote_count", party="party1", election="e0") == 1
+    total = sum(
+        voting.read("x", "read_vote_count", party=f"party{i}", election="e0")
+        for i in range(4)
+    )
+    assert total == 1
+
+
+def test_elections_are_isolated(voting):
+    voting.modify("voter0", "vote", party="party0", election="e0")
+    voting.modify("voter0", "vote", party="party1", election="e1")
+    # Different elections are different objects: both votes stand.
+    assert voting.read("x", "read_vote_count", party="party0", election="e0") == 1
+    assert voting.read("x", "read_vote_count", party="party1", election="e1") == 1
+
+
+def test_read_vote_returns_register_value(voting):
+    voting.modify("voter0", "vote", party="party2", election="e0")
+    assert voting.read("x", "read_vote", voter="voter0", party="party2", election="e0") is True
+    assert voting.read("x", "read_vote", voter="voter0", party="party0", election="e0") is False
+    assert voting.read("x", "read_vote", voter="ghost", party="party0", election="e0") is None
+
+
+def test_empty_election_counts_zero(voting):
+    assert voting.read("x", "read_vote_count", party="party0", election="never") == 0
+
+
+def test_function_kinds():
+    contract = VotingContract()
+    assert contract.functions() == {
+        "vote": "modify",
+        "read_vote_count": "read",
+        "read_vote": "read",
+    }

@@ -1,0 +1,124 @@
+"""Tests for the Smart Contract Library (SCL)."""
+
+import pytest
+
+from repro.core.contract import (
+    ContractContext,
+    SmartContract,
+    StateReader,
+    modify_function,
+    read_function,
+)
+from repro.crdt.clock import OpClock
+from repro.errors import ContractError
+
+
+class ToyContract(SmartContract):
+    contract_id = "toy"
+
+    @modify_function
+    def increment(self, ctx, amount):
+        ctx.add_value("counter", amount)
+
+    @modify_function
+    def set_flag(self, ctx, value):
+        ctx.assign_value("flag", value)
+
+    @read_function
+    def read_counter(self, ctx):
+        return ctx.state.read("counter")
+
+
+def make_context(**kwargs):
+    return ContractContext("client0", OpClock("client0", 1), **kwargs)
+
+
+def test_contract_requires_id():
+    class Anonymous(SmartContract):
+        pass
+
+    with pytest.raises(ContractError):
+        Anonymous()
+
+
+def test_function_registry_and_kinds():
+    contract = ToyContract()
+    assert contract.functions() == {
+        "increment": "modify",
+        "read_counter": "read",
+        "set_flag": "modify",
+    }
+    assert contract.function_kind("increment") == "modify"
+    with pytest.raises(ContractError):
+        contract.function_kind("missing")
+
+
+def test_execute_unknown_function_raises():
+    with pytest.raises(ContractError):
+        ToyContract().execute(make_context(), "nope", {})
+
+
+def test_modify_function_builds_write_set():
+    contract = ToyContract()
+    ctx = make_context()
+    contract.execute(ctx, "increment", {"amount": 5})
+    contract.execute(ctx, "set_flag", {"value": True})
+    write_set = ctx.write_set()
+    assert len(write_set) == 2
+    assert write_set[0].object_id == "counter"
+    assert write_set[0].value == 5
+    assert write_set[1].value_type == "mvregister"
+    # op indexes keep identifiers distinct within the write-set.
+    assert write_set[0].op_index == 0
+    assert write_set[1].op_index == 1
+
+
+def test_modify_functions_cannot_read_state():
+    # The determinism contract: endorsers may hold divergent replicas,
+    # so reading state during modify execution is rejected.
+    class Leaky(SmartContract):
+        contract_id = "leaky"
+
+        @modify_function
+        def sneak(self, ctx):
+            return ctx.state.read("counter")
+
+    with pytest.raises(ContractError, match="must not read state"):
+        Leaky().execute(make_context(), "sneak", {})
+
+
+def test_read_function_uses_state_reader():
+    state = {"counter": 42}
+    reader = StateReader(lambda object_id, path: state.get(object_id))
+    ctx = make_context(state=reader, allow_reads=True)
+    assert ToyContract().execute(ctx, "read_counter", {}) == 42
+
+
+def test_reads_require_attached_reader():
+    ctx = make_context(allow_reads=True)
+    with pytest.raises(ContractError, match="no state reader"):
+        ToyContract().execute(ctx, "read_counter", {})
+
+
+def test_insert_value_addresses_nested_path():
+    ctx = make_context()
+    ctx.insert_value("obj", key="voter1", value=True, path=("party1",))
+    op = ctx.write_set()[0]
+    assert op.path == ("party1", "voter1")
+    assert op.value_type == "mvregister"
+
+
+def test_create_map_emits_map_op():
+    ctx = make_context()
+    ctx.create_map("obj", key="section")
+    op = ctx.write_set()[0]
+    assert op.value_type == "map"
+    assert op.value == "section"
+
+
+def test_write_set_wire_is_plain_data():
+    ctx = make_context()
+    ctx.add_value("counter", 1)
+    wire = ctx.write_set_wire()
+    assert wire[0]["object_id"] == "counter"
+    assert wire[0]["clock"] == {"client_id": "client0", "counter": 1}

@@ -1,0 +1,100 @@
+"""Tests for the DDoS rate-guard extension (Section 8)."""
+
+import pytest
+
+from repro.core import ByzantineClientConfig, OrderlessChainNetwork, OrderlessChainSettings
+from repro.core.ddos import ProposalRateGuard, install_rate_guards
+from repro.contracts import AuctionContract
+
+
+def build(seed=15, **guard_kwargs):
+    settings = OrderlessChainSettings(num_orgs=4, quorum=2, seed=seed)
+    net = OrderlessChainNetwork(settings)
+    net.install_contract(AuctionContract)
+    guards = install_rate_guards(net, **guard_kwargs)
+    return net, guards
+
+
+def flood(net, client, count, spacing=0.001):
+    def attack():
+        for _ in range(count):
+            net.sim.process(
+                client.submit_modify("auction", "bid", {"auction": "a", "amount": 1})
+            )
+            yield net.sim.timeout(spacing)
+
+    net.sim.process(attack())
+
+
+def test_parameters_validated():
+    net = OrderlessChainNetwork(OrderlessChainSettings(num_orgs=2, quorum=1))
+    with pytest.raises(ValueError):
+        ProposalRateGuard(net.organizations[0], max_rate=0)
+    with pytest.raises(ValueError):
+        ProposalRateGuard(net.organizations[0], strikes=0)
+
+
+def test_normal_clients_unaffected():
+    net, guards = build(max_rate=50.0)
+    client = net.add_client("honest")
+    process = net.sim.process(
+        client.submit_modify("auction", "bid", {"auction": "a", "amount": 5})
+    )
+    net.run(until=20.0)
+    assert process.value is True
+    assert all(not guard.dropped for guard in guards.values())
+
+
+def test_flooding_client_gets_dropped():
+    net, guards = build(max_rate=10.0, revoke=False)
+    ddos = net.add_client(
+        "ddos", byzantine=ByzantineClientConfig(faults=frozenset({"proposal_only"}))
+    )
+    flood(net, ddos, count=200)
+    net.run(until=30.0)
+    total_dropped = sum(guard.dropped.get("ddos", 0) for guard in guards.values())
+    assert total_dropped > 0
+    # Without revocation the client stays enrolled.
+    assert not net.ca.is_revoked("ddos")
+
+
+def test_persistent_flooder_is_revoked_network_wide():
+    net, guards = build(max_rate=10.0, strikes=2)
+    ddos = net.add_client(
+        "ddos", byzantine=ByzantineClientConfig(faults=frozenset({"proposal_only"}))
+    )
+    flood(net, ddos, count=400, spacing=0.01)  # sustained over several windows
+    net.run(until=60.0)
+    assert net.ca.is_revoked("ddos")
+    # Revocation is network-wide: organizations stop endorsing entirely
+    # (even the ones whose local guard never fired).
+    late = net.sim.process(
+        ddos.submit_modify("auction", "bid", {"auction": "a", "amount": 1})
+    )
+    before = sum(org.endorsed_count for org in net.organizations)
+    net.run(until=net.sim.now + 10.0)
+    after = sum(org.endorsed_count for org in net.organizations)
+    assert late.value is False
+    assert after == before
+
+
+def test_honest_clients_survive_alongside_flooder():
+    net, guards = build(max_rate=10.0, strikes=2)
+    ddos = net.add_client(
+        "ddos", byzantine=ByzantineClientConfig(faults=frozenset({"proposal_only"}))
+    )
+    honest = net.add_client("honest")
+    flood(net, ddos, count=300, spacing=0.01)
+
+    def honest_bid():
+        yield net.sim.timeout(5.0)
+        return (
+            yield net.sim.process(
+                honest.submit_modify("auction", "bid", {"auction": "a", "amount": 5})
+            )
+        )
+
+    process = net.sim.process(honest_bid())
+    net.run(until=60.0)
+    assert process.value is True
+    assert not net.ca.is_revoked("honest")

@@ -1,0 +1,134 @@
+"""Unit tests of organization internals (without full client flows)."""
+
+import pytest
+
+from repro.core import OrderlessChainNetwork, OrderlessChainSettings
+from repro.core.organization import Organization
+from repro.core.transaction import Endorsement, Proposal, Transaction
+from repro.crdt.clock import OpClock
+from repro.crdt.operation import Operation
+from repro.contracts import VotingContract
+
+
+@pytest.fixture
+def net():
+    network = OrderlessChainNetwork(OrderlessChainSettings(num_orgs=4, quorum=2, seed=1))
+    network.install_contract(lambda: VotingContract(parties_per_election=2))
+    return network
+
+
+def make_transaction(net, client_name="clientX", endorser_count=2, tamper_after=False):
+    client = net.ca.enroll(client_name, "client")
+    proposal = Proposal(client_name, "voting", "vote",
+                        {"party": "party0", "election": "e"}, OpClock(client_name, 1))
+    op = Operation(
+        object_id="voting/e/party0",
+        path=(client_name,),
+        value=True,
+        value_type="mvregister",
+        clock=proposal.clock,
+    )
+    write_set = [op.to_wire()]
+    endorsements = [
+        Endorsement.create(net.organizations[i].identity, proposal.proposal_id, write_set)
+        for i in range(endorser_count)
+    ]
+    if tamper_after:
+        write_set = [dict(write_set[0], value=False)]
+    return Transaction.assemble(client, proposal, write_set, endorsements)
+
+
+class TestValidation:
+    def test_valid_transaction_accepted(self, net):
+        txn = make_transaction(net)
+        valid, reason = net.organizations[0].validate_transaction(txn)
+        assert valid, reason
+
+    def test_insufficient_endorsements_rejected(self, net):
+        txn = make_transaction(net, client_name="c1", endorser_count=1)
+        valid, reason = net.organizations[0].validate_transaction(txn)
+        assert not valid
+        assert "endorsement policy" in reason
+
+    def test_client_tampering_rejected(self, net):
+        # Client swapped the write-set after endorsement: endorser
+        # signatures no longer match the transaction's write-set.
+        txn = make_transaction(net, client_name="c2", tamper_after=True)
+        valid, reason = net.organizations[0].validate_transaction(txn)
+        assert not valid
+
+    def test_endorsement_from_client_identity_not_counted(self, net):
+        client = net.ca.enroll("c3", "client")
+        fake_endorser = net.ca.enroll("fake-org", "client")  # wrong role
+        proposal = Proposal("c3", "voting", "vote",
+                            {"party": "party0", "election": "e"}, OpClock("c3", 1))
+        op = Operation("voting/e/party0", ("c3",), True, "mvregister", proposal.clock)
+        write_set = [op.to_wire()]
+        endorsements = [
+            Endorsement.create(fake_endorser, proposal.proposal_id, write_set),
+            Endorsement.create(net.organizations[0].identity, proposal.proposal_id, write_set),
+        ]
+        txn = Transaction.assemble(client, proposal, write_set, endorsements)
+        valid, reason = net.organizations[0].validate_transaction(txn)
+        assert not valid  # only one real organization endorsed
+
+    def test_duplicate_endorser_counted_once(self, net):
+        client = net.ca.enroll("c4", "client")
+        proposal = Proposal("c4", "voting", "vote",
+                            {"party": "party0", "election": "e"}, OpClock("c4", 1))
+        op = Operation("voting/e/party0", ("c4",), True, "mvregister", proposal.clock)
+        write_set = [op.to_wire()]
+        same = Endorsement.create(net.organizations[0].identity, proposal.proposal_id, write_set)
+        txn = Transaction.assemble(client, proposal, write_set, [same, same])
+        valid, _ = net.organizations[0].validate_transaction(txn)
+        assert not valid  # one distinct endorser < q=2
+
+    def test_revoked_client_rejected(self, net):
+        txn = make_transaction(net, client_name="c5")
+        net.ca.revoke("c5")
+        valid, reason = net.organizations[0].validate_transaction(txn)
+        assert not valid
+        assert "revoked" in reason
+
+    def test_malformed_write_set_rejected(self, net):
+        client = net.ca.enroll("c6", "client")
+        proposal = Proposal("c6", "voting", "vote",
+                            {"party": "party0", "election": "e"}, OpClock("c6", 1))
+        bad_ws = [{"object_id": "x", "path": [], "value": -5, "value_type": "gcounter",
+                   "clock": {"client_id": "c6", "counter": 1}}]
+        endorsements = [
+            Endorsement.create(net.organizations[i].identity, proposal.proposal_id, bad_ws)
+            for i in range(2)
+        ]
+        txn = Transaction.assemble(client, proposal, bad_ws, endorsements)
+        valid, reason = net.organizations[0].validate_transaction(txn)
+        assert not valid
+        assert "malformed" in reason
+
+
+class TestTamperHelper:
+    def test_tamper_changes_every_operation(self, net):
+        write_set = [
+            {"value_type": "gcounter", "value": 5},
+            {"value_type": "mvregister", "value": True},
+        ]
+        tampered = Organization._tamper_write_set(write_set)
+        assert tampered[0]["value"] == 1_000_005
+        assert tampered[1]["value"] == "<tampered>"
+        # The original is untouched.
+        assert write_set[0]["value"] == 5
+
+
+class TestStateTracking:
+    def test_transactions_for_object_indexes_commits(self, net):
+        org = net.organizations[0]
+        txn = make_transaction(net, client_name="c7")
+
+        def commit():
+            yield from org.commit_directly(txn)
+
+        net.sim.process(commit())
+        net.sim.run(until=1.0)
+        by_object = org.transactions_for_object("voting/e/party0")
+        assert set(by_object) == {"c7:1"}
+        assert org.transactions_for_object("unknown/object") == {}

@@ -1,0 +1,80 @@
+"""Tests for the transaction recorder."""
+
+from repro.core.recording import TransactionRecorder
+
+
+def test_lifecycle_success():
+    recorder = TransactionRecorder()
+    recorder.submitted("t1", "c", "modify", 1.0)
+    recorder.committed("t1", 1.5)
+    record = recorder.records["t1"]
+    assert record.succeeded
+    assert record.latency == 0.5
+    assert recorder.latencies("modify") == [0.5]
+    assert recorder.latencies("read") == []
+
+
+def test_lifecycle_failure():
+    recorder = TransactionRecorder()
+    recorder.submitted("t1", "c", "modify", 1.0)
+    recorder.failed("t1", 2.0, "rejected")
+    record = recorder.records["t1"]
+    assert not record.succeeded
+    assert record.latency is None
+    assert record.failure_reason == "rejected"
+    assert len(recorder.failures()) == 1
+
+
+def test_commit_after_failure_is_ignored():
+    # A late receipt after the client already gave up must not flip
+    # the outcome retroactively... commits are only recorded while the
+    # transaction is still pending or already committed.
+    recorder = TransactionRecorder()
+    recorder.submitted("t1", "c", "modify", 1.0)
+    recorder.committed("t1", 2.0)
+    recorder.failed("t1", 3.0, "late timeout")  # ignored: already committed
+    assert recorder.records["t1"].succeeded
+    assert recorder.records["t1"].failed_at is None
+
+
+def test_double_commit_keeps_first_timestamp():
+    recorder = TransactionRecorder()
+    recorder.submitted("t1", "c", "read", 0.0)
+    recorder.committed("t1", 1.0)
+    recorder.committed("t1", 5.0)
+    assert recorder.records["t1"].committed_at == 1.0
+
+
+def test_unknown_transaction_events_are_noops():
+    recorder = TransactionRecorder()
+    recorder.committed("ghost", 1.0)
+    recorder.failed("ghost", 1.0, "x")
+    recorder.retried("ghost")
+    assert recorder.records == {}
+
+
+def test_retry_counting():
+    recorder = TransactionRecorder()
+    recorder.submitted("t1", "c", "modify", 0.0)
+    recorder.retried("t1")
+    recorder.retried("t1")
+    assert recorder.records["t1"].retries == 2
+
+
+def test_phase_means():
+    recorder = TransactionRecorder()
+    assert recorder.mean_phase("nothing") == 0.0
+    recorder.phase("p", 0.1)
+    recorder.phase("p", 0.3)
+    assert recorder.mean_phase("p") == 0.2
+
+
+def test_kind_filtering():
+    recorder = TransactionRecorder()
+    recorder.submitted("m", "c", "modify", 0.0)
+    recorder.submitted("r", "c", "read", 0.0)
+    recorder.committed("m", 1.0)
+    recorder.committed("r", 1.0)
+    assert len(recorder.successes("modify")) == 1
+    assert len(recorder.successes("read")) == 1
+    assert len(recorder.successes()) == 2

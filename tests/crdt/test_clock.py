@@ -1,0 +1,97 @@
+"""Tests for logical clocks and happened-before."""
+
+import pytest
+
+from repro.crdt.clock import (
+    LamportClock,
+    OpClock,
+    Ordering,
+    VectorClock,
+    clock_from_wire,
+)
+
+
+class TestOpClock:
+    def test_same_client_orders_by_counter(self):
+        early = OpClock("alice", 1)
+        late = OpClock("alice", 2)
+        assert early.compare(late) is Ordering.BEFORE
+        assert late.compare(early) is Ordering.AFTER
+        assert early.happened_before(late)
+        assert not late.happened_before(early)
+
+    def test_equal_clocks(self):
+        assert OpClock("alice", 3).compare(OpClock("alice", 3)) is Ordering.EQUAL
+
+    def test_different_clients_are_concurrent(self):
+        # Each client's Lamport clock is independent (Section 6), so
+        # happened-before is never inferable across clients.
+        a = OpClock("alice", 1)
+        b = OpClock("bob", 100)
+        assert a.compare(b) is Ordering.CONCURRENT
+        assert b.compare(a) is Ordering.CONCURRENT
+
+    def test_comparison_with_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            OpClock("a", 1).compare(VectorClock())
+
+    def test_wire_roundtrip(self):
+        clock = OpClock("alice", 9)
+        assert OpClock.from_wire(clock.to_wire()) == clock
+        assert clock_from_wire(clock.to_wire()) == clock
+
+
+class TestLamportClock:
+    def test_tick_is_monotonic(self):
+        clock = LamportClock("alice")
+        stamps = [clock.tick() for _ in range(3)]
+        assert [s.counter for s in stamps] == [1, 2, 3]
+        assert all(s.client_id == "alice" for s in stamps)
+
+    def test_peek_does_not_advance(self):
+        clock = LamportClock("alice")
+        clock.tick()
+        assert clock.peek().counter == 1
+        assert clock.peek().counter == 1
+
+    def test_observe_implements_receive_rule(self):
+        clock = LamportClock("alice")
+        clock.observe(OpClock("bob", 10))
+        assert clock.tick().counter == 11
+
+    def test_observe_smaller_is_noop(self):
+        clock = LamportClock("alice", start=5)
+        clock.observe(OpClock("bob", 2))
+        assert clock.counter == 5
+
+
+class TestVectorClock:
+    def test_empty_clocks_are_equal(self):
+        assert VectorClock().compare(VectorClock()) is Ordering.EQUAL
+
+    def test_pointwise_dominance_is_happened_before(self):
+        a = VectorClock.of({"n1": 1, "n2": 1})
+        b = VectorClock.of({"n1": 2, "n2": 1})
+        assert a.compare(b) is Ordering.BEFORE
+        assert a.happened_before(b)
+
+    def test_divergent_clocks_are_concurrent(self):
+        a = VectorClock.of({"n1": 2, "n2": 1})
+        b = VectorClock.of({"n1": 1, "n2": 2})
+        assert a.compare(b) is Ordering.CONCURRENT
+
+    def test_increment_and_merge(self):
+        a = VectorClock().increment("n1").increment("n1")
+        b = VectorClock().increment("n2")
+        merged = a.merge(b)
+        assert merged.as_dict() == {"n1": 2, "n2": 1}
+        assert a.happened_before(merged)
+        assert b.happened_before(merged)
+
+    def test_zero_entries_are_normalized_away(self):
+        assert VectorClock.of({"n1": 0}).entries == ()
+
+    def test_wire_roundtrip(self):
+        clock = VectorClock.of({"n1": 3, "n2": 7})
+        assert VectorClock.from_wire(clock.to_wire()) == clock
+        assert clock_from_wire(clock.to_wire()) == clock

@@ -1,0 +1,84 @@
+"""Tests for the state-based JSON CRDT (FabricCRDT substrate)."""
+
+from repro.crdt.json_crdt import JSONCRDTDocument
+
+
+def test_empty_document():
+    doc = JSONCRDTDocument()
+    assert doc.value() == {}
+    assert doc.size() == 0
+
+
+def test_update_and_resolve():
+    doc = JSONCRDTDocument()
+    doc.update(("voter1",), True, "alice", 1)
+    assert doc.value() == {"voter1": True}
+
+
+def test_size_grows_with_every_update():
+    # The property the FabricCRDT evaluation hinges on: metadata is
+    # never garbage-collected, so documents grow monotonically.
+    doc = JSONCRDTDocument()
+    for i in range(10):
+        doc.update(("k",), i, "alice", i)
+    assert doc.size() == 10
+    assert doc.value() == {"k": 9}
+
+
+def test_lww_resolution_is_deterministic():
+    a, b = JSONCRDTDocument(), JSONCRDTDocument()
+    a.update(("k",), "from-alice", "alice", 5)
+    b.update(("k",), "from-bob", "bob", 5)
+    a.merge(b)
+    b.merge(a)
+    assert a.value() == b.value()
+    # Tie on counter: higher client id wins the (counter, client) order.
+    assert a.value() == {"k": "from-bob"}
+
+
+def test_merge_is_union_and_idempotent():
+    a, b = JSONCRDTDocument(), JSONCRDTDocument()
+    a.update(("x",), 1, "alice", 1)
+    b.update(("y",), 2, "bob", 1)
+    a.merge(b)
+    a.merge(b)
+    assert a.size() == 2
+    assert a.value() == {"x": 1, "y": 2}
+
+
+def test_merge_commutes():
+    updates = [(("a",), 1, "u1", 1), (("b",), 2, "u2", 1), (("a",), 3, "u1", 2)]
+    left, right = JSONCRDTDocument(), JSONCRDTDocument()
+    for path, value, client, counter in updates[:2]:
+        left.update(path, value, client, counter)
+    for path, value, client, counter in updates[2:]:
+        right.update(path, value, client, counter)
+    forward = left.copy()
+    forward.merge(right)
+    backward = right.copy()
+    backward.merge(left)
+    assert forward.snapshot() == backward.snapshot()
+    assert forward.value() == {"a": 3, "b": 2}
+
+
+def test_nested_paths_build_nested_dicts():
+    doc = JSONCRDTDocument()
+    doc.update(("outer", "inner"), 7, "alice", 1)
+    assert doc.value() == {"outer": {"inner": 7}}
+
+
+def test_null_update_deletes_leaf():
+    doc = JSONCRDTDocument()
+    doc.update(("k",), "v", "alice", 1)
+    doc.update(("k",), None, "alice", 2)
+    assert doc.value() == {}
+    assert doc.size() == 2  # the tombstone still occupies metadata
+
+
+def test_copy_is_independent():
+    doc = JSONCRDTDocument()
+    doc.update(("k",), 1, "a", 1)
+    clone = doc.copy()
+    clone.update(("k",), 2, "a", 2)
+    assert doc.value() == {"k": 1}
+    assert clone.value() == {"k": 2}

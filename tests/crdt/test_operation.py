@@ -1,0 +1,65 @@
+"""Tests for CRDT operations (Section 6's four components)."""
+
+import pytest
+
+from repro.crdt import Operation, OpClock, VectorClock
+from repro.errors import CRDTError
+
+
+def make_op(**overrides):
+    defaults = dict(
+        object_id="obj",
+        path=("k",),
+        value=1,
+        value_type="gcounter",
+        clock=OpClock("alice", 3),
+    )
+    defaults.update(overrides)
+    return Operation(**defaults)
+
+
+def test_op_id_combines_client_and_clock():
+    assert make_op().op_id == "alice#3#0"
+    assert make_op(op_index=2).op_id == "alice#3#2"
+
+
+def test_unknown_value_type_rejected():
+    with pytest.raises(CRDTError):
+        make_op(value_type="lww")
+
+
+def test_gcounter_value_must_be_numeric_and_non_negative():
+    with pytest.raises(CRDTError):
+        make_op(value="one")
+    with pytest.raises(CRDTError):
+        make_op(value=-5)
+    with pytest.raises(CRDTError):
+        make_op(value=True)
+
+
+def test_mvregister_value_can_be_anything():
+    op = make_op(value_type="mvregister", value=None)
+    assert op.value is None
+
+
+def test_path_is_normalized_to_tuple():
+    op = make_op(path=["a", "b"])
+    assert op.path == ("a", "b")
+
+
+def test_wire_roundtrip():
+    op = make_op(path=("party1", "voter1"), value_type="mvregister", value=True)
+    restored = Operation.from_wire(op.to_wire())
+    assert restored == op
+    assert restored.op_id == op.op_id
+
+
+def test_wire_roundtrip_with_vector_clock():
+    op = make_op(value_type="mvregister", value="x", clock=VectorClock.of({"n1": 2}))
+    restored = Operation.from_wire(op.to_wire())
+    assert restored.clock == op.clock
+
+
+def test_vector_clock_op_id_is_stable():
+    op = make_op(value_type="mvregister", value="x", clock=VectorClock.of({"n1": 2}))
+    assert op.op_id == make_op(value_type="mvregister", value="y", clock=VectorClock.of({"n1": 2})).op_id

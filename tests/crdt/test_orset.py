@@ -1,0 +1,152 @@
+"""Tests for the OR-Set extension CRDT."""
+
+import itertools
+
+import pytest
+
+from repro.crdt import CRDTStore, GCounter, Operation, ORSet, OpClock
+from repro.errors import CRDTError
+
+
+def clock(counter, client="c"):
+    return OpClock(client, counter)
+
+
+def test_empty_set():
+    orset = ORSet()
+    assert orset.read() == []
+    assert "x" not in orset
+
+
+def test_add_and_membership():
+    orset = ORSet()
+    orset.add("apple", clock(1), "c#1")
+    orset.add("pear", clock(2), "c#2")
+    assert orset.read() == ["apple", "pear"]
+    assert "apple" in orset
+
+
+def test_add_is_idempotent():
+    orset = ORSet()
+    orset.add("apple", clock(1), "c#1")
+    orset.add("apple", clock(1), "c#1")
+    assert orset.read_tags("apple") == ["c#1"]
+
+
+def test_observed_remove_deletes_named_tags():
+    orset = ORSet()
+    orset.add("apple", clock(1), "c#1")
+    tags = orset.read_tags("apple")
+    orset.remove("apple", tags, clock(2), "c#2")
+    assert orset.read() == []
+
+
+def test_add_wins_over_concurrent_remove():
+    # The defining OR-Set property: a remove only kills *observed*
+    # adds; a concurrent (unobserved) add survives.
+    orset = ORSet()
+    orset.add("apple", clock(1, "alice"), "alice#1")
+    observed = orset.read_tags("apple")
+    # Bob adds concurrently; Alice removes what she observed.
+    orset.add("apple", clock(1, "bob"), "bob#1")
+    orset.remove("apple", observed, clock(2, "alice"), "alice#2")
+    assert orset.read() == ["apple"]
+    assert orset.read_tags("apple") == ["bob#1"]
+
+
+def test_remove_then_late_add_of_same_tag_stays_dead():
+    a, b = ORSet(), ORSet()
+    a.add("x", clock(1), "c#1")
+    # b learns the removal before the add (reordered delivery).
+    b.remove("x", ["c#1"], clock(2), "c#2")
+    b.add("x", clock(1), "c#1")
+    assert b.read() == []
+    a.remove("x", ["c#1"], clock(2), "c#2")
+    assert a.snapshot() == b.snapshot()
+
+
+def test_order_independence():
+    ops = [
+        ({"add": "x"}, clock(1, "a"), "a#1"),
+        ({"add": "y"}, clock(1, "b"), "b#1"),
+        ({"remove": "x", "tags": ["a#1"]}, clock(2, "a"), "a#2"),
+        ({"add": "x"}, clock(1, "d"), "d#1"),
+    ]
+    snapshots = set()
+    for permutation in itertools.permutations(ops):
+        orset = ORSet()
+        for value, clk, op_id in permutation:
+            orset.apply(value, clk, op_id)
+        snapshots.add(str(orset.snapshot()))
+    assert len(snapshots) == 1
+    assert orset.read() == ["x", "y"]
+
+
+def test_merge_converges():
+    a, b = ORSet(), ORSet()
+    a.add("x", clock(1, "alice"), "alice#1")
+    b.add("y", clock(1, "bob"), "bob#1")
+    b.remove("y", ["bob#1"], clock(2, "bob"), "bob#2")
+    a.merge(b)
+    b.merge(a)
+    assert a.snapshot() == b.snapshot()
+    assert a.read() == ["x"]
+
+
+def test_merge_applies_remote_tombstones_to_local_adds():
+    a, b = ORSet(), ORSet()
+    a.add("x", clock(1), "c#1")
+    b.add("x", clock(1), "c#1")
+    b.remove("x", ["c#1"], clock(2), "c#2")
+    a.merge(b)
+    assert a.read() == []
+
+
+def test_malformed_payload_rejected():
+    with pytest.raises(CRDTError):
+        ORSet().apply({"frobnicate": 1}, clock(1), "c#1")
+    with pytest.raises(CRDTError):
+        ORSet().apply("not-a-dict", clock(1), "c#1")
+
+
+def test_merge_type_mismatch_rejected():
+    with pytest.raises(CRDTError):
+        ORSet().merge(GCounter())
+
+
+def test_list_elements_normalize_to_tuples():
+    orset = ORSet()
+    orset.add([1, 2], clock(1), "c#1")
+    assert (1, 2) in orset
+
+
+def test_copy_is_independent():
+    orset = ORSet()
+    orset.add("x", clock(1), "c#1")
+    clone = orset.copy()
+    clone.add("y", clock(2), "c#2")
+    assert orset.read() == ["x"]
+    assert clone.read() == ["x", "y"]
+
+
+def test_orset_through_operation_and_store():
+    store = CRDTStore()
+    store.apply(
+        [
+            Operation("members", (), {"add": "alice"}, "orset", clock(1, "a")),
+            Operation("members", (), {"add": "bob"}, "orset", clock(1, "b")),
+        ]
+    )
+    assert store.read("members") == ["alice", "bob"]
+    store.apply(
+        [Operation("members", (), {"remove": "bob", "tags": ["b#1#0"]}, "orset", clock(2, "a"))]
+    )
+    assert store.read("members") == ["alice"]
+
+
+def test_orset_nested_in_map():
+    store = CRDTStore()
+    store.apply(
+        [Operation("groups", ("admins",), {"add": "root"}, "orset", clock(1, "a"))]
+    )
+    assert store.read("groups", ("admins",)) == ["root"]

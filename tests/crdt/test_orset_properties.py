@@ -1,0 +1,96 @@
+"""Property-based tests for the OR-Set extension CRDT."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.crdt import ORSet, OpClock
+
+elements = st.sampled_from(["x", "y", "z"])
+clients = st.sampled_from(["a", "b"])
+
+
+@st.composite
+def orset_histories(draw):
+    """A causally sensible operation history.
+
+    Adds are generated freely; removes name tags of adds generated
+    earlier in the history (a remove can only name *observed* adds).
+    """
+    length = draw(st.integers(min_value=0, max_value=14))
+    history = []
+    add_tags = []  # (tag, element)
+    counter = 0
+    for _ in range(length):
+        counter += 1
+        client = draw(clients)
+        clock = OpClock(client, counter)
+        op_id = f"{client}#{counter}"
+        if add_tags and draw(st.booleans()):
+            observed = draw(
+                st.lists(st.sampled_from(add_tags), min_size=1, max_size=3, unique=True)
+            )
+            element = observed[0][1]
+            tags = [tag for tag, elem in observed if elem == element]
+            history.append(({"remove": element, "tags": tags}, clock, op_id))
+        else:
+            element = draw(elements)
+            history.append(({"add": element}, clock, op_id))
+            add_tags.append((op_id, element))
+    return history
+
+
+@settings(deadline=None)
+@given(orset_histories(), st.randoms())
+def test_orset_commutativity(history, rng):
+    forward, shuffled = ORSet(), ORSet()
+    for value, clock, op_id in history:
+        forward.apply(value, clock, op_id)
+    reordered = list(history)
+    rng.shuffle(reordered)
+    for value, clock, op_id in reordered:
+        shuffled.apply(value, clock, op_id)
+    assert forward.snapshot() == shuffled.snapshot()
+
+
+@settings(deadline=None)
+@given(orset_histories())
+def test_orset_idempotence(history):
+    once, twice = ORSet(), ORSet()
+    for value, clock, op_id in history:
+        once.apply(value, clock, op_id)
+    for value, clock, op_id in history + history:
+        twice.apply(value, clock, op_id)
+    assert once.snapshot() == twice.snapshot()
+
+
+@settings(deadline=None)
+@given(orset_histories(), st.integers(min_value=0, max_value=14))
+def test_orset_partition_merge_converges(history, split):
+    split = min(split, len(history))
+    left, right = ORSet(), ORSet()
+    for value, clock, op_id in history[:split]:
+        left.apply(value, clock, op_id)
+    for value, clock, op_id in history[split:]:
+        right.apply(value, clock, op_id)
+    left_merged = left.copy()
+    left_merged.merge(right)
+    right_merged = right.copy()
+    right_merged.merge(left)
+    assert left_merged.snapshot() == right_merged.snapshot()
+    combined = ORSet()
+    for value, clock, op_id in history:
+        combined.apply(value, clock, op_id)
+    assert left_merged.snapshot() == combined.snapshot()
+
+
+@settings(deadline=None)
+@given(orset_histories())
+def test_elements_present_iff_live_tags(history):
+    orset = ORSet()
+    for value, clock, op_id in history:
+        orset.apply(value, clock, op_id)
+    for element in orset.read():
+        assert orset.read_tags(element)
+    for element in ("x", "y", "z"):
+        if element not in orset.read():
+            assert orset.read_tags(element) == []

@@ -1,0 +1,103 @@
+"""Tests for the CRDT object store."""
+
+import pytest
+
+from repro.crdt import CRDTStore, Operation, OpClock
+from repro.errors import CRDTError
+
+
+def op(object_id, path=(), value=1, value_type="gcounter", client="c", counter=1):
+    return Operation(
+        object_id=object_id,
+        path=tuple(path),
+        value=value,
+        value_type=value_type,
+        clock=OpClock(client, counter),
+    )
+
+
+def test_empty_store():
+    store = CRDTStore()
+    assert len(store) == 0
+    assert store.read("missing") is None
+    assert store.get("missing") is None
+    assert store.object_ids() == []
+
+
+def test_root_type_inferred_from_operation():
+    store = CRDTStore()
+    store.apply([op("counter", value=2)])
+    store.apply([op("mapped", path=("k",), value=1, counter=2)])
+    assert store.get("counter").type_name == "gcounter"
+    assert store.get("mapped").type_name == "map"
+    assert "counter" in store
+    assert store.object_ids() == ["counter", "mapped"]
+
+
+def test_read_nested_path():
+    store = CRDTStore()
+    store.apply([op("obj", path=("a", "b"), value_type="mvregister", value="deep")])
+    assert store.read("obj", ("a", "b")) == "deep"
+    assert store.read("obj", ("a",)) == {"b": "deep"}
+    assert store.read("obj") == {"a": {"b": "deep"}}
+    assert store.read("obj", ("a", "missing")) is None
+    assert store.read("obj", ("a", "b", "too-deep")) is None
+
+
+def test_reads_have_no_side_effects():
+    store = CRDTStore()
+    store.apply([op("obj", path=("k",))])
+    before = store.snapshot()
+    store.read("obj", ("k",))
+    store.read("obj", ("nope",))
+    assert store.snapshot() == before
+
+
+def test_merge_unions_objects():
+    a, b = CRDTStore(), CRDTStore()
+    a.apply([op("x", value=1, client="a")])
+    b.apply([op("y", value=2, client="b")])
+    b.apply([op("x", value=3, client="b", counter=2)])
+    a.merge(b)
+    assert a.read("x") == 4
+    assert a.read("y") == 2
+
+
+def test_merge_type_conflict_rejected():
+    a, b = CRDTStore(), CRDTStore()
+    a.apply([op("x", value=1)])
+    b.apply([op("x", value_type="mvregister", value="s")])
+    with pytest.raises(CRDTError):
+        a.merge(b)
+
+
+def test_merge_copies_missing_objects():
+    a, b = CRDTStore(), CRDTStore()
+    b.apply([op("x", value=1)])
+    a.merge(b)
+    b.apply([op("x", value=1, counter=2)])
+    assert a.read("x") == 1  # a holds an independent copy
+    assert b.read("x") == 2
+
+
+def test_snapshot_equality_is_convergence():
+    a, b = CRDTStore(), CRDTStore()
+    ops = [op("o", path=("k",), value=i, client=f"c{i}", counter=i) for i in range(1, 4)]
+    a.apply(ops)
+    b.apply(reversed(ops))
+    assert a.snapshot() == b.snapshot()
+
+
+def test_copy_independent():
+    store = CRDTStore()
+    store.apply([op("x")])
+    clone = store.copy()
+    clone.apply([op("x", counter=2)])
+    assert store.read("x") == 1
+    assert clone.read("x") == 2
+
+
+def test_operation_count():
+    store = CRDTStore()
+    store.apply([op("x"), op("y", client="d")])
+    assert store.operation_count() == 2

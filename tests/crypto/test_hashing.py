@@ -1,0 +1,52 @@
+"""Tests for canonical hashing."""
+
+import pytest
+
+from repro.crypto.hashing import GENESIS_HASH, canonical_bytes, chain_hash, sha256_hex
+
+
+def test_dict_key_order_does_not_matter():
+    assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+
+def test_nested_structures_are_canonical():
+    left = {"x": [{"b": 1, "a": 2}], "y": (1, 2)}
+    right = {"y": [1, 2], "x": [{"a": 2, "b": 1}]}
+    assert canonical_bytes(left) == canonical_bytes(right)
+
+
+def test_bytes_values_supported():
+    digest = sha256_hex({"blob": b"\x00\x01"})
+    assert len(digest) == 64
+    assert sha256_hex({"blob": b"\x00\x01"}) == digest
+    assert sha256_hex({"blob": b"\x00\x02"}) != digest
+
+
+def test_different_values_hash_differently():
+    assert sha256_hex({"a": 1}) != sha256_hex({"a": 2})
+
+
+def test_unencodable_object_raises():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError):
+        canonical_bytes(Opaque())
+
+
+def test_to_wire_objects_are_encoded():
+    class Wired:
+        def to_wire(self):
+            return {"kind": "wired"}
+
+    assert sha256_hex(Wired()) == sha256_hex({"kind": "wired"})
+
+
+def test_chain_hash_depends_on_predecessor():
+    a = chain_hash(GENESIS_HASH, {"n": 1})
+    b = chain_hash(a, {"n": 1})
+    assert a != b
+
+
+def test_genesis_hash_shape():
+    assert GENESIS_HASH == "0" * 64

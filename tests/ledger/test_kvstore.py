@@ -1,0 +1,114 @@
+"""Tests for the LevelDB-style key-value store."""
+
+from repro.ledger import KVStore, WriteBatch
+
+
+def test_put_get_delete():
+    store = KVStore()
+    store.put("k", 1)
+    assert store.get("k") == 1
+    assert "k" in store
+    store.delete("k")
+    assert store.get("k") is None
+    assert "k" not in store
+
+
+def test_get_default():
+    assert KVStore().get("missing", "fallback") == "fallback"
+
+
+def test_delete_missing_is_noop():
+    store = KVStore()
+    store.delete("ghost")
+    assert len(store) == 0
+
+
+def test_overwrite_updates_value():
+    store = KVStore()
+    store.put("k", 1)
+    store.put("k", 2)
+    assert store.get("k") == 2
+    assert len(store) == 1
+
+
+def test_scan_is_ordered():
+    store = KVStore()
+    for key in ["b", "a", "d", "c"]:
+        store.put(key, key.upper())
+    assert [k for k, _ in store.scan()] == ["a", "b", "c", "d"]
+
+
+def test_scan_range_is_half_open():
+    store = KVStore()
+    for key in "abcde":
+        store.put(key, key)
+    assert [k for k, _ in store.scan("b", "d")] == ["b", "c"]
+
+
+def test_scan_prefix():
+    store = KVStore()
+    store.put("ops/obj1/000", 1)
+    store.put("ops/obj1/001", 2)
+    store.put("ops/obj2/000", 3)
+    store.put("other", 4)
+    assert [v for _, v in store.scan_prefix("ops/obj1/")] == [1, 2]
+
+
+def test_write_batch_applies_all_ops():
+    store = KVStore()
+    store.put("stale", 0)
+    batch = WriteBatch().put("a", 1).put("b", 2).delete("stale")
+    assert len(batch) == 3
+    store.write(batch)
+    assert store.get("a") == 1
+    assert store.get("b") == 2
+    assert "stale" not in store
+
+
+def test_snapshot_is_point_in_time():
+    store = KVStore()
+    store.put("k", 1)
+    snapshot = store.snapshot()
+    store.put("k", 2)
+    store.put("new", 3)
+    assert snapshot.get("k") == 1
+    assert "new" not in snapshot
+    assert store.get("k") == 2
+
+
+def test_scan_after_interleaved_mutations():
+    store = KVStore()
+    store.put("a", 1)
+    list(store.scan())  # force key sort
+    store.put("0", 0)
+    assert [k for k, _ in store.scan()] == ["0", "a"]
+
+
+def test_dump_and_load_roundtrip(tmp_path):
+    store = KVStore()
+    store.put("ops/obj1/000", {"value": 1})
+    store.put("meta", "hello")
+    path = str(tmp_path / "store.json")
+    store.dump(path)
+    restored = KVStore.load(path)
+    assert dict(restored.scan()) == dict(store.scan())
+
+
+def test_load_then_mutate_is_independent(tmp_path):
+    store = KVStore()
+    store.put("k", 1)
+    path = str(tmp_path / "store.json")
+    store.dump(path)
+    restored = KVStore.load(path)
+    restored.put("k", 2)
+    assert store.get("k") == 1
+
+
+def test_dump_is_atomic_on_rewrite(tmp_path):
+    store = KVStore()
+    store.put("k", 1)
+    path = str(tmp_path / "store.json")
+    store.dump(path)
+    store.put("k", 2)
+    store.dump(path)  # overwrite in place
+    assert KVStore.load(path).get("k") == 2

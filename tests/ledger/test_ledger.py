@@ -1,0 +1,151 @@
+"""Tests for the per-application ledger (log + DB + cache)."""
+
+import pytest
+
+from repro.crdt import Operation, OpClock
+from repro.ledger import Ledger
+
+
+def op(object_id="obj", path=("k",), value=1, value_type="gcounter", client="c", counter=1, index=0):
+    return Operation(
+        object_id=object_id,
+        path=tuple(path),
+        value=value,
+        value_type=value_type,
+        clock=OpClock(client, counter),
+        op_index=index,
+    )
+
+
+def test_commit_valid_updates_log_db_and_cache():
+    ledger = Ledger()
+    block = ledger.commit("t1", [op()], {"txn": "t1"}, valid=True)
+    assert block.valid
+    assert ledger.has_transaction("t1")
+    assert ledger.is_valid_transaction("t1")
+    assert ledger.read("obj", ("k",)) == 1
+    assert len(ledger.operations_for("obj")) == 1
+
+
+def test_commit_invalid_logs_but_does_not_apply():
+    # "all valid and invalid transactions are appended to the hash-chain
+    # log. The invalid transactions are added to the ledger for
+    # bookkeeping purposes" (Section 4).
+    ledger = Ledger()
+    ledger.commit("bad", [], {"txn": "bad"}, valid=False)
+    assert ledger.has_transaction("bad")
+    assert not ledger.is_valid_transaction("bad")
+    assert len(ledger.log) == 1
+    assert ledger.read("obj") is None
+    assert ledger.transaction_count == 1
+    assert ledger.valid_transaction_count == 0
+
+
+def test_double_commit_rejected():
+    ledger = Ledger()
+    ledger.commit("t1", [op()], {"txn": "t1"}, valid=True)
+    with pytest.raises(ValueError):
+        ledger.commit("t1", [op()], {"txn": "t1"}, valid=True)
+
+
+def test_read_through_cache_and_replay_agree():
+    cached = Ledger(cache_enabled=True)
+    uncached = Ledger(cache_enabled=False)
+    ops = [op(counter=i, client=f"c{i}") for i in range(1, 4)]
+    for i, operation in enumerate(ops):
+        cached.commit(f"t{i}", [operation], {"txn": i}, valid=True)
+        uncached.commit(f"t{i}", [operation], {"txn": i}, valid=True)
+    assert cached.read("obj", ("k",)) == uncached.read("obj", ("k",)) == 3
+
+
+def test_state_snapshot_reflects_only_valid_transactions():
+    ledger = Ledger()
+    ledger.commit("good", [op()], {}, valid=True)
+    ledger.commit("bad", [op(counter=9)], {}, valid=False)
+    snapshot = ledger.state_snapshot()
+    replay = Ledger()
+    replay.commit("good", [op()], {}, valid=True)
+    assert snapshot == replay.state_snapshot()
+
+
+def test_rebuild_cache_matches_incremental_cache():
+    ledger = Ledger()
+    for i in range(1, 5):
+        ledger.commit(f"t{i}", [op(counter=i)], {}, valid=True)
+    before = ledger.read("obj", ("k",))
+    ledger.rebuild_cache()
+    assert ledger.read("obj", ("k",)) == before
+
+
+def test_operations_for_preserves_commit_order():
+    ledger = Ledger()
+    ledger.commit("t1", [op(counter=1, value=1)], {}, valid=True)
+    ledger.commit("t2", [op(counter=2, value=2)], {}, valid=True)
+    values = [o.value for o in ledger.operations_for("obj")]
+    assert values == [1, 2]
+
+
+def test_transactions_view_filters_validity():
+    ledger = Ledger()
+    ledger.commit("t1", [op()], {"id": 1}, valid=True)
+    ledger.commit("t2", [], {"id": 2}, valid=False)
+    assert ledger.transactions() == [{"id": 1}, {"id": 2}]
+    assert ledger.transactions(valid_only=True) == [{"id": 1}]
+
+
+def test_verify_integrity_walks_chain():
+    ledger = Ledger()
+    for i in range(3):
+        ledger.commit(f"t{i}", [], {"id": i}, valid=False)
+    ledger.verify_integrity()
+    ledger.log.tamper(0, {"id": "evil"})
+    with pytest.raises(Exception):
+        ledger.verify_integrity()
+
+
+def test_cached_object_access():
+    ledger = Ledger()
+    assert ledger.cached_object("obj") is None
+    ledger.commit("t1", [op()], {}, valid=True)
+    assert ledger.cached_object("obj") is not None
+
+
+def test_save_and_restore_roundtrip(tmp_path):
+    ledger = Ledger()
+    ledger.commit("t1", [op(counter=1)], {"txn": "t1"}, valid=True)
+    ledger.commit("bad", [], {"txn": "bad"}, valid=False)
+    ledger.save(str(tmp_path))
+    restored = Ledger.restore(str(tmp_path))
+    assert restored.has_transaction("t1")
+    assert restored.is_valid_transaction("t1")
+    assert restored.has_transaction("bad")
+    assert not restored.is_valid_transaction("bad")
+    assert restored.read("obj", ("k",)) == 1
+    assert restored.state_snapshot() == ledger.state_snapshot()
+    assert restored.log.head_hash == ledger.log.head_hash
+
+
+def test_restore_continues_committing(tmp_path):
+    ledger = Ledger()
+    ledger.commit("t1", [op(counter=1)], {}, valid=True)
+    ledger.save(str(tmp_path))
+    restored = Ledger.restore(str(tmp_path))
+    restored.commit("t2", [op(counter=2)], {}, valid=True)
+    assert restored.read("obj", ("k",)) == 2
+    assert len(restored.operations_for("obj")) == 2
+    restored.verify_integrity()
+
+
+def test_restore_detects_tampered_files(tmp_path):
+    import json
+
+    ledger = Ledger()
+    for i in range(3):
+        ledger.commit(f"t{i}", [op(counter=i + 1)], {"n": i}, valid=True)
+    ledger.save(str(tmp_path))
+    manifest_path = tmp_path / "log.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["blocks"][0]["payload"] = {"n": "tampered"}
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(Exception):
+        Ledger.restore(str(tmp_path))

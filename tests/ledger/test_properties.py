@@ -1,0 +1,117 @@
+"""Property-based tests for the ledger substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ledger import HashChainLog, KVStore, WriteBatch
+
+keys = st.text(alphabet="abcdef/0123456789", min_size=1, max_size=8)
+values = st.one_of(st.integers(), st.text(max_size=6), st.none())
+
+
+@st.composite
+def kv_commands(draw):
+    kind = draw(st.sampled_from(["put", "delete"]))
+    return (kind, draw(keys), draw(values) if kind == "put" else None)
+
+
+class TestKVStoreModel:
+    """The store must behave exactly like a plain dict."""
+
+    @given(st.lists(kv_commands(), max_size=60))
+    def test_matches_dict_model(self, commands):
+        store, model = KVStore(), {}
+        for kind, key, value in commands:
+            if kind == "put":
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        assert len(store) == len(model)
+        for key, value in model.items():
+            assert store.get(key) == value
+        assert [k for k, _ in store.scan()] == sorted(model)
+
+    @given(st.lists(kv_commands(), max_size=40), keys, keys)
+    def test_scan_range_matches_model(self, commands, low, high):
+        if low > high:
+            low, high = high, low
+        store, model = KVStore(), {}
+        for kind, key, value in commands:
+            if kind == "put":
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        expected = sorted(k for k in model if low <= k < high)
+        assert [k for k, _ in store.scan(low, high)] == expected
+
+    @given(st.lists(kv_commands(), max_size=40))
+    def test_batch_equals_individual_ops(self, commands):
+        individually, batched = KVStore(), KVStore()
+        batch = WriteBatch()
+        for kind, key, value in commands:
+            if kind == "put":
+                individually.put(key, value)
+                batch.put(key, value)
+            else:
+                individually.delete(key)
+                batch.delete(key)
+        batched.write(batch)
+        assert dict(individually.scan()) == dict(batched.scan())
+
+    @given(st.lists(kv_commands(), max_size=30), st.lists(kv_commands(), max_size=10))
+    def test_snapshot_isolation(self, before, after):
+        store = KVStore()
+        for kind, key, value in before:
+            store.put(key, value) if kind == "put" else store.delete(key)
+        frozen = dict(store.scan())
+        snapshot = store.snapshot()
+        for kind, key, value in after:
+            store.put(key, value) if kind == "put" else store.delete(key)
+        assert dict(snapshot.scan()) == frozen
+
+
+class TestHashChainProperties:
+    @settings(deadline=None)
+    @given(st.lists(st.dictionaries(keys, st.integers(), max_size=3), max_size=20))
+    def test_appended_chain_always_verifies(self, payloads):
+        log = HashChainLog()
+        for payload in payloads:
+            log.append(payload, valid=True)
+        log.verify()
+        assert len(log) == len(payloads)
+
+    @settings(deadline=None)
+    @given(
+        st.lists(st.dictionaries(keys, st.integers(), max_size=2), min_size=2, max_size=12),
+        st.data(),
+    )
+    def test_any_non_head_tamper_is_detected(self, payloads, data):
+        import pytest
+
+        from repro.errors import LedgerError
+
+        log = HashChainLog()
+        for payload in payloads:
+            log.append(payload, valid=True)
+        victim = data.draw(st.integers(min_value=0, max_value=len(payloads) - 2))
+        log.tamper(victim, {"tampered": True})
+        with pytest.raises(LedgerError):
+            log.verify()
+
+    @settings(deadline=None)
+    @given(st.lists(st.integers(), min_size=1, max_size=15))
+    def test_head_hash_is_deterministic_function_of_history(self, history):
+        a, b = HashChainLog(), HashChainLog()
+        for item in history:
+            a.append({"n": item}, valid=True)
+            b.append({"n": item}, valid=True)
+        assert a.head_hash == b.head_hash
+        b2 = HashChainLog()
+        for item in history[:-1]:
+            b2.append({"n": item}, valid=True)
+        b2.append({"n": history[-1], "extra": 1}, valid=True)
+        assert a.head_hash != b2.head_hash

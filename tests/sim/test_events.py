@@ -1,0 +1,106 @@
+"""Tests for events, timeouts, AnyOf/AllOf, and the Gate."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Simulator, Timeout
+from repro.sim.events import Gate
+
+
+def test_event_trigger_carries_value():
+    sim = Simulator()
+    event = Event(sim)
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    event.trigger(42)
+    sim.run()
+    assert seen == [42]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = Event(sim)
+    event.trigger()
+    with pytest.raises(RuntimeError):
+        event.trigger()
+
+
+def test_callback_on_already_triggered_event_fires():
+    sim = Simulator()
+    event = Event(sim)
+    event.trigger("late")
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_timeout_triggers_at_deadline():
+    sim = Simulator()
+    timeout = Timeout(sim, 3.0, "done")
+    seen = []
+    timeout.add_callback(lambda e: seen.append((sim.now, e.value)))
+    sim.run()
+    assert seen == [(3.0, "done")]
+
+
+def test_anyof_returns_winning_event():
+    sim = Simulator()
+    fast = Timeout(sim, 1.0, "fast")
+    slow = Timeout(sim, 2.0, "slow")
+    any_of = AnyOf(sim, [slow, fast])
+    winners = []
+    any_of.add_callback(lambda e: winners.append(e.value))
+    sim.run()
+    assert winners == [fast]
+
+
+def test_anyof_requires_events():
+    with pytest.raises(ValueError):
+        AnyOf(Simulator(), [])
+
+
+def test_allof_collects_values_in_construction_order():
+    sim = Simulator()
+    a = Timeout(sim, 2.0, "a")
+    b = Timeout(sim, 1.0, "b")
+    all_of = AllOf(sim, [a, b])
+    values = []
+    all_of.add_callback(lambda e: values.append(e.value))
+    sim.run()
+    assert values == [["a", "b"]]
+    assert sim.now == 2.0
+
+
+def test_allof_empty_triggers_immediately():
+    sim = Simulator()
+    all_of = AllOf(sim, [])
+    sim.run()
+    assert all_of.triggered
+    assert all_of.value == []
+
+
+def test_allof_with_pre_triggered_events():
+    sim = Simulator()
+    done = Event(sim)
+    done.trigger("x")
+    all_of = AllOf(sim, [done, Timeout(sim, 1.0, "y")])
+    sim.run()
+    assert all_of.value == ["x", "y"]
+
+
+def test_gate_is_resettable():
+    sim = Simulator()
+    gate = Gate(sim)
+    first = gate.wait()
+    gate.open("one")
+    assert first.triggered
+    second = gate.wait()
+    assert second is not first
+    assert not second.triggered
+    gate.open("two")
+    assert second.value == "two"
+
+
+def test_gate_open_without_waiters_is_noop():
+    gate = Gate(Simulator())
+    gate.open()  # must not raise

@@ -1,0 +1,111 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_process_waits_on_timeouts():
+    sim = Simulator()
+    ticks = []
+
+    def proc():
+        ticks.append(sim.now)
+        yield sim.timeout(1.0)
+        ticks.append(sim.now)
+        yield sim.timeout(2.5)
+        ticks.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert ticks == [0.0, 1.0, 3.5]
+
+
+def test_process_return_value_becomes_event_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return "result"
+
+    process = sim.process(proc())
+    sim.run()
+    assert process.triggered
+    assert process.value == "result"
+
+
+def test_process_can_wait_on_another_process():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(2.0)
+        return 7
+
+    def outer():
+        value = yield sim.process(inner())
+        return value + 1
+
+    process = sim.process(outer())
+    sim.run()
+    assert process.value == 8
+
+
+def test_yield_expression_receives_event_value():
+    sim = Simulator()
+    received = []
+
+    def proc():
+        value = yield sim.timeout(1.0, "payload")
+        received.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert received == ["payload"]
+
+
+def test_exception_in_process_surfaces_with_name():
+    sim = Simulator()
+
+    def boom():
+        yield sim.timeout(1.0)
+        raise RuntimeError("kapow")
+
+    sim.process(boom(), name="exploder")
+    with pytest.raises(SimulationError, match="exploder"):
+        sim.run()
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad(), name="bad")
+    with pytest.raises(SimulationError, match="must yield Event"):
+        sim.run()
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def worker(name, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+            log.append((sim.now, name))
+
+    sim.process(worker("fast", 1.0))
+    sim.process(worker("slow", 1.5))
+    sim.run()
+    # At t=3.0 both fire; the tie breaks by scheduling order, and slow's
+    # third timeout was scheduled (at 1.5) before fast's (at 2.0).
+    assert log == [
+        (1.0, "fast"),
+        (1.5, "slow"),
+        (2.0, "fast"),
+        (3.0, "slow"),
+        (3.0, "fast"),
+        (4.5, "slow"),
+    ]
