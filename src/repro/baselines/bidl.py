@@ -120,6 +120,14 @@ class BIDLOrg:
             self.state.apply_write_set(write_set)
             self.executed[txn["txn_id"]] = True
         self.net.recorder.phase("bidl/P3/Execution", self.net.sim.now - started)
+        if self.net.tracer is not None:
+            self.net.tracer.span(
+                "bidl/P3/Execution",
+                started,
+                self.net.sim.now,
+                node=self.org_id,
+                txn_id=txn["txn_id"],
+            )
 
     def _vote(self, message: Message) -> None:
         self.net.network.send(
@@ -152,6 +160,14 @@ class BIDLOrg:
                     )
                 )
             self.net.recorder.phase("bidl/P4/Commit", self.net.sim.now - started)
+            if self.net.tracer is not None:
+                self.net.tracer.span(
+                    "bidl/P4/Commit",
+                    started,
+                    self.net.sim.now,
+                    node=self.org_id,
+                    txn_id=txn["txn_id"],
+                )
 
 
 class BIDLClient:
@@ -222,6 +238,7 @@ class BIDLNetwork:
         self.rng = RngRegistry(seed=settings.seed)
         self.network = Network(self.sim, self.rng.stream("net"), latency=settings.latency)
         self.recorder = TransactionRecorder()
+        self.tracer = None
         self.orgs = [BIDLOrg(self, f"org{i}") for i in range(settings.num_orgs)]
         self.org_ids = [org.org_id for org in self.orgs]
         self.clients: List[BIDLClient] = []
@@ -268,6 +285,10 @@ class BIDLNetwork:
         for txn in batch.items:
             arrived = self._sequence_arrivals.pop(txn["txn_id"], now)
             self.recorder.phase("bidl/P1/Sequence", now - arrived)
+            if self.tracer is not None:
+                self.tracer.span(
+                    "bidl/P1/Sequence", arrived, now, node=SEQUENCER_ID, txn_id=txn["txn_id"]
+                )
             self._consensus_enqueued[txn["txn_id"]] = now
             for org_id in self.org_ids:
                 self.network.send(
@@ -348,6 +369,10 @@ class BIDLNetwork:
         for txn in batch.items:
             enqueued = self._consensus_enqueued.pop(txn["txn_id"], now)
             self.recorder.phase("bidl/P2/Consensus", now - enqueued)
+            if self.tracer is not None:
+                self.tracer.span(
+                    "bidl/P2/Consensus", enqueued, now, node=LEADER_ID, txn_id=txn["txn_id"]
+                )
         yield from self.leader_nic.transmit(160 * len(self.org_ids))
         for org_id in self.org_ids:
             self.network.send(
@@ -361,6 +386,23 @@ class BIDLNetwork:
             )
 
     # -- clients ---------------------------------------------------------------
+
+    def attach_observability(self, obs) -> None:
+        """Wire a :class:`repro.obs.Observability` into this network."""
+        self.tracer = obs.recorder
+        self.network.tracer = obs.recorder
+        sampler = obs.bind(self.sim)
+        if sampler is not None:
+            for org in self.orgs:
+                sampler.watch_resource(org.org_id, "cpu", org.cpu)
+            sampler.watch_gauge(
+                SEQUENCER_ID, "node/queue/depth", lambda: self.sequencer.queue_length
+            )
+            sampler.watch_gauge(
+                LEADER_ID, "node/queue/depth", lambda: self.leader.queue_length
+            )
+            sampler.watch_network(self.network)
+            sampler.start()
 
     def add_client(self, name: Optional[str] = None) -> BIDLClient:
         client = BIDLClient(self, name or f"client{len(self.clients)}")

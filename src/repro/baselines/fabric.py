@@ -109,6 +109,14 @@ class FabricPeer:
         yield from self.cpu.serve(self.net.settings.perf.fabric_endorse)
         read_set, write_set = self.contract.simulate(self.state, body["params"])
         self.net.recorder.phase("fabric/P1/Endorse", self.net.sim.now - arrived)
+        if self.net.tracer is not None:
+            self.net.tracer.span(
+                "fabric/P1/Endorse",
+                arrived,
+                self.net.sim.now,
+                node=self.peer_id,
+                txn_id=body["txn_id"],
+            )
         self.net.network.send(
             Message(
                 sender=self.peer_id,
@@ -146,6 +154,15 @@ class FabricPeer:
                     )
                 )
             self.net.recorder.phase("fabric/P3/Commit", self.net.sim.now - arrived)
+            if self.net.tracer is not None:
+                self.net.tracer.span(
+                    "fabric/P3/Commit",
+                    arrived,
+                    self.net.sim.now,
+                    node=self.peer_id,
+                    txn_id=txn["txn_id"],
+                    attrs={"valid": valid},
+                )
 
     def _read(self, message: Message):
         yield from self.cpu.serve(self.net.settings.perf.fabric_endorse)
@@ -287,6 +304,7 @@ class FabricNetwork:
         self.rng = RngRegistry(seed=settings.seed)
         self.network = Network(self.sim, self.rng.stream("net"), latency=settings.latency)
         self.recorder = TransactionRecorder()
+        self.tracer = None
         self.peers = [FabricPeer(self, f"peer{i}") for i in range(settings.num_orgs)]
         self.peer_ids = [peer.peer_id for peer in self.peers]
         self.clients: List[FabricClient] = []
@@ -370,6 +388,14 @@ class FabricNetwork:
         for txn in batch.items:
             arrived = self._orderer_arrivals.pop(txn["txn_id"], now)
             self.recorder.phase("fabric/P2/Consensus", now - arrived)
+            if self.tracer is not None:
+                self.tracer.span(
+                    "fabric/P2/Consensus",
+                    arrived,
+                    now,
+                    node=ORDERER_ID,
+                    txn_id=txn["txn_id"],
+                )
         size = 200 + sum(
             100 + 60 * (len(txn["read_set"]) + len(txn["write_set"])) for txn in batch.items
         )
@@ -385,6 +411,20 @@ class FabricNetwork:
             )
         return
         yield  # pragma: no cover - marks this as a generator for BatchServer
+
+    def attach_observability(self, obs) -> None:
+        """Wire a :class:`repro.obs.Observability` into this network."""
+        self.tracer = obs.recorder
+        self.network.tracer = obs.recorder
+        sampler = obs.bind(self.sim)
+        if sampler is not None:
+            for peer in self.peers:
+                sampler.watch_resource(peer.peer_id, "cpu", peer.cpu)
+            sampler.watch_gauge(
+                ORDERER_ID, "node/queue/depth", lambda: self.orderer.queue_length
+            )
+            sampler.watch_network(self.network)
+            sampler.start()
 
     def add_client(self, name: Optional[str] = None) -> FabricClient:
         client = FabricClient(self, name or f"client{len(self.clients)}")

@@ -144,6 +144,7 @@ class FabricCRDTPeer:
 
     def _endorse(self, message: Message):
         perf = self.net.settings.perf
+        arrived = self.net.sim.now
         body = message.body
         updates = APP_UPDATES[self.net.settings.app](body["params"])
         # Retrieving the entire object costs time proportional to its
@@ -152,6 +153,15 @@ class FabricCRDTPeer:
         yield from self.cpu.serve(
             perf.fabric_endorse + perf.fabriccrdt_merge_per_update * history
         )
+        if self.net.tracer is not None:
+            self.net.tracer.span(
+                "fabriccrdt/P1/Endorse",
+                arrived,
+                self.net.sim.now,
+                node=self.peer_id,
+                txn_id=body["txn_id"],
+                attrs={"history": history},
+            )
         self.net.network.send(
             Message(
                 sender=self.peer_id,
@@ -165,10 +175,20 @@ class FabricCRDTPeer:
     def _merge_block(self, message: Message):
         perf = self.net.settings.perf
         for txn in message.body["transactions"]:
+            arrived = self.net.sim.now
             history = sum(self.document_size(key) for key, _, _ in txn["updates"])
             yield from self.cpu.serve(
                 perf.fabriccrdt_merge_base + perf.fabriccrdt_merge_per_update * history
             )
+            if self.net.tracer is not None:
+                self.net.tracer.span(
+                    "fabriccrdt/P3/Merge",
+                    arrived,
+                    self.net.sim.now,
+                    node=self.peer_id,
+                    txn_id=txn["txn_id"],
+                    attrs={"history": history},
+                )
             for key, path, value in txn["updates"]:
                 self.document(key).update(
                     path, value, txn["client_id"], txn["counter"]
@@ -324,6 +344,7 @@ class FabricCRDTNetwork:
         self.rng = RngRegistry(seed=settings.seed)
         self.network = Network(self.sim, self.rng.stream("net"), latency=settings.latency)
         self.recorder = TransactionRecorder()
+        self.tracer = None
         self.peers = [FabricCRDTPeer(self, f"peer{i}") for i in range(settings.num_orgs)]
         self.peer_ids = [peer.peer_id for peer in self.peers]
         self.clients: List[FabricCRDTClient] = []
@@ -356,6 +377,20 @@ class FabricCRDTNetwork:
             )
         return
         yield  # pragma: no cover - marks this as a generator for BatchServer
+
+    def attach_observability(self, obs) -> None:
+        """Wire a :class:`repro.obs.Observability` into this network."""
+        self.tracer = obs.recorder
+        self.network.tracer = obs.recorder
+        sampler = obs.bind(self.sim)
+        if sampler is not None:
+            for peer in self.peers:
+                sampler.watch_resource(peer.peer_id, "cpu", peer.cpu)
+            sampler.watch_gauge(
+                ORDERER_ID, "node/queue/depth", lambda: self.orderer.queue_length
+            )
+            sampler.watch_network(self.network)
+            sampler.start()
 
     def add_client(self, name: Optional[str] = None) -> FabricCRDTClient:
         client = FabricCRDTClient(self, name or f"client{len(self.clients)}")

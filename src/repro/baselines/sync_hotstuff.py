@@ -120,6 +120,14 @@ class SyncHotStuffOrg:
                     )
                 )
             self.net.recorder.phase("hotstuff/P2/Commit", self.net.sim.now - started)
+            if self.net.tracer is not None:
+                self.net.tracer.span(
+                    "hotstuff/P2/Commit",
+                    started,
+                    self.net.sim.now,
+                    node=self.org_id,
+                    txn_id=txn["txn_id"],
+                )
 
 
 class SyncHotStuffClient:
@@ -190,6 +198,7 @@ class SyncHotStuffNetwork:
         self.rng = RngRegistry(seed=settings.seed)
         self.network = Network(self.sim, self.rng.stream("net"), latency=settings.latency)
         self.recorder = TransactionRecorder()
+        self.tracer = None
         self.orgs = [SyncHotStuffOrg(self, f"org{i}") for i in range(settings.num_orgs)]
         self.org_ids = [org.org_id for org in self.orgs]
         self.clients: List[SyncHotStuffClient] = []
@@ -225,6 +234,10 @@ class SyncHotStuffNetwork:
             arrived = self._submit_arrivals.pop(txn["txn_id"], now)
             # Leader-side consensus latency: queueing + batching + NIC.
             self.recorder.phase("hotstuff/P1/Consensus", now - arrived)
+            if self.tracer is not None:
+                self.tracer.span(
+                    "hotstuff/P1/Consensus", arrived, now, node=LEADER_ID, txn_id=txn["txn_id"]
+                )
         proposal = {"batch_id": self._batch_counter, "transactions": batch.items}
         for org_id in self.org_ids:
             self.network.send(
@@ -236,6 +249,20 @@ class SyncHotStuffNetwork:
                     size_bytes=batch_bytes,
                 )
             )
+
+    def attach_observability(self, obs) -> None:
+        """Wire a :class:`repro.obs.Observability` into this network."""
+        self.tracer = obs.recorder
+        self.network.tracer = obs.recorder
+        sampler = obs.bind(self.sim)
+        if sampler is not None:
+            for org in self.orgs:
+                sampler.watch_resource(org.org_id, "cpu", org.cpu)
+            sampler.watch_gauge(
+                LEADER_ID, "node/queue/depth", lambda: self.leader.queue_length
+            )
+            sampler.watch_network(self.network)
+            sampler.start()
 
     def add_client(self, name: Optional[str] = None) -> SyncHotStuffClient:
         client = SyncHotStuffClient(self, name or f"client{len(self.clients)}")

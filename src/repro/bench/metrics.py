@@ -55,6 +55,46 @@ class LatencyStats:
         )
 
 
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary of one sampled time series (a gauge or counter)."""
+
+    name: str
+    node: str
+    count: int
+    mean: float
+    peak: float
+    last: float
+
+    @classmethod
+    def from_values(cls, name: str, node: str, values: Sequence[float]) -> "SeriesStats":
+        if not values:
+            return cls(name=name, node=node, count=0, mean=math.nan, peak=math.nan, last=math.nan)
+        return cls(
+            name=name,
+            node=node,
+            count=len(values),
+            mean=sum(values) / len(values),
+            peak=max(values),
+            last=values[-1],
+        )
+
+
+def summarize_samples(collector) -> List[SeriesStats]:
+    """Per-(metric, node) summaries of a trace collector's samples.
+
+    ``collector`` is a :class:`repro.obs.trace.TraceCollector`; rows
+    come back sorted by metric name then node for stable reporting.
+    """
+    by_key: Dict[Tuple[str, str], List[float]] = {}
+    for sample in collector.samples:
+        by_key.setdefault((sample.name, sample.node), []).append(sample.value)
+    return [
+        SeriesStats.from_values(name, node, values)
+        for (name, node), values in sorted(by_key.items())
+    ]
+
+
 @dataclass
 class ExperimentResult:
     """Everything a figure needs from one run."""
@@ -75,6 +115,9 @@ class ExperimentResult:
     phase_means_ms: Dict[str, float] = field(default_factory=dict)
     timeline: List[Tuple[float, float]] = field(default_factory=list)  # (bucket start, tps)
     extra: Dict[str, float] = field(default_factory=dict)
+    # The run's repro.obs.Observability when tracing/sampling was
+    # enabled (None otherwise); carries the TraceCollector for export.
+    observability: Optional[object] = None
 
     def summary_row(self) -> Dict[str, object]:
         """A flat row for tabular reporting."""
@@ -106,6 +149,7 @@ def compute_result(
     scale: float,
     timeline_bucket: float = 10.0,
     extra: Optional[Dict[str, float]] = None,
+    observability=None,
 ) -> ExperimentResult:
     """Summarize a run's recorder into an :class:`ExperimentResult`.
 
@@ -159,7 +203,15 @@ def compute_result(
         },
         timeline=timeline,
         extra=dict(extra or {}),
+        observability=observability,
     )
 
 
-__all__ = ["ExperimentResult", "LatencyStats", "compute_result", "percentile"]
+__all__ = [
+    "ExperimentResult",
+    "LatencyStats",
+    "SeriesStats",
+    "compute_result",
+    "percentile",
+    "summarize_samples",
+]

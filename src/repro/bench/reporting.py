@@ -9,7 +9,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Sequence
 
-from repro.bench.metrics import ExperimentResult
+from repro.bench.metrics import ExperimentResult, SeriesStats
 
 
 def _fmt(value: object, width: int = 9) -> str:
@@ -87,6 +87,22 @@ def format_timeline(title: str, result: ExperimentResult) -> str:
     return f"== {title} ==\n" + format_table(headers, rows)
 
 
+def format_node_metrics(title: str, rows: Sequence[SeriesStats]) -> str:
+    """Per-node time-series summary (mean/peak of each sampled gauge).
+
+    ``rows`` come from :func:`repro.bench.metrics.summarize_samples`;
+    the schema for each metric name is in docs/OBSERVABILITY.md.
+    """
+    lines = [f"== {title} ==", f"{'metric':<24} {'node':<16} {'mean':>10} {'peak':>10}"]
+    for stats in rows:
+        mean = "-" if math.isnan(stats.mean) else f"{stats.mean:.3f}"
+        peak = "-" if math.isnan(stats.peak) else f"{stats.peak:.3f}"
+        lines.append(f"{stats.name:<24} {stats.node:<16} {mean:>10} {peak:>10}")
+    if not rows:
+        lines.append("(no samples recorded; enable sampling with --sample-interval)")
+    return "\n".join(lines)
+
+
 def format_breakdown(title: str, phase_means_ms: Dict[str, float]) -> str:
     """Table 3-style phase breakdown."""
     headers = ["phase", "mean_ms"]
@@ -100,6 +116,7 @@ def format_breakdown(title: str, phase_means_ms: Dict[str, float]) -> str:
 __all__ = [
     "format_breakdown",
     "format_comparison",
+    "format_node_metrics",
     "format_sweep",
     "format_table",
     "format_timeline",

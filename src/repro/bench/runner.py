@@ -5,12 +5,18 @@ corresponding network, submits the configured workload uniformly over
 ``config.duration`` simulated seconds, lets in-flight transactions
 drain, and summarizes the recorder into an
 :class:`~repro.bench.metrics.ExperimentResult`.
+
+When ``config.trace`` or ``config.sample_interval`` is set (or an
+:class:`repro.obs.Observability` is passed in), the run is traced: the
+result's ``observability`` field carries the collector for export via
+``repro.obs.chrome``. Tracing is passive and does not change simulated
+results (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.baselines.bidl import BIDLNetwork, BIDLSettings
 from repro.baselines.fabric import FabricNetwork, FabricSettings
@@ -27,6 +33,7 @@ from repro.core.client import ClientConfig
 from repro.core.recording import TransactionRecorder
 from repro.core.system import OrderlessChainNetwork, OrderlessChainSettings
 from repro.errors import ConfigError
+from repro.obs import Observability
 from repro.sim.core import Simulator
 
 
@@ -67,7 +74,9 @@ def _orderless_contract_factory(config: ExperimentConfig) -> Callable[[], object
     return AuctionContract
 
 
-def _run_orderlesschain(config: ExperimentConfig, workload: AppWorkload) -> TransactionRecorder:
+def _run_orderlesschain(
+    config: ExperimentConfig, workload: AppWorkload, obs: Optional[Observability] = None
+) -> TransactionRecorder:
     settings = OrderlessChainSettings(
         num_orgs=config.num_orgs,
         quorum=config.quorum,
@@ -83,6 +92,8 @@ def _run_orderlesschain(config: ExperimentConfig, workload: AppWorkload) -> Tran
         ),
     )
     net = OrderlessChainNetwork(settings)
+    if obs is not None:
+        net.attach_observability(obs)
     net.install_contract(_orderless_contract_factory(config))
     total_clients = config.effective_clients
     byzantine_clients = round(config.byzantine_client_fraction * total_clients)
@@ -148,7 +159,9 @@ def _baseline_submit(workload: AppWorkload, workload_rng: random.Random):
     return submit
 
 
-def _run_fabric(config: ExperimentConfig, workload: AppWorkload) -> TransactionRecorder:
+def _run_fabric(
+    config: ExperimentConfig, workload: AppWorkload, obs: Optional[Observability] = None
+) -> TransactionRecorder:
     net = FabricNetwork(
         FabricSettings(
             num_orgs=config.num_orgs,
@@ -158,6 +171,8 @@ def _run_fabric(config: ExperimentConfig, workload: AppWorkload) -> TransactionR
             perf=config.perf(),
         )
     )
+    if obs is not None:
+        net.attach_observability(obs)
     for _ in range(config.effective_clients):
         net.add_client()
     workload_rng = net.rng.stream("workload")
@@ -174,7 +189,9 @@ def _run_fabric(config: ExperimentConfig, workload: AppWorkload) -> TransactionR
     return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(p.cpu for p in net.peers)}
 
 
-def _run_fabriccrdt(config: ExperimentConfig, workload: AppWorkload) -> TransactionRecorder:
+def _run_fabriccrdt(
+    config: ExperimentConfig, workload: AppWorkload, obs: Optional[Observability] = None
+) -> TransactionRecorder:
     net = FabricCRDTNetwork(
         FabricCRDTSettings(
             num_orgs=config.num_orgs,
@@ -184,6 +201,8 @@ def _run_fabriccrdt(config: ExperimentConfig, workload: AppWorkload) -> Transact
             perf=config.perf(),
         )
     )
+    if obs is not None:
+        net.attach_observability(obs)
     for _ in range(config.effective_clients):
         net.add_client()
     workload_rng = net.rng.stream("workload")
@@ -200,7 +219,9 @@ def _run_fabriccrdt(config: ExperimentConfig, workload: AppWorkload) -> Transact
     return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(p.cpu for p in net.peers)}
 
 
-def _run_bidl(config: ExperimentConfig, workload: AppWorkload) -> TransactionRecorder:
+def _run_bidl(
+    config: ExperimentConfig, workload: AppWorkload, obs: Optional[Observability] = None
+) -> TransactionRecorder:
     net = BIDLNetwork(
         BIDLSettings(
             num_orgs=config.num_orgs,
@@ -209,6 +230,8 @@ def _run_bidl(config: ExperimentConfig, workload: AppWorkload) -> TransactionRec
             perf=config.perf(),
         )
     )
+    if obs is not None:
+        net.attach_observability(obs)
     for _ in range(config.effective_clients):
         net.add_client()
     workload_rng = net.rng.stream("workload")
@@ -225,7 +248,9 @@ def _run_bidl(config: ExperimentConfig, workload: AppWorkload) -> TransactionRec
     return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(o.cpu for o in net.orgs)}
 
 
-def _run_synchotstuff(config: ExperimentConfig, workload: AppWorkload) -> TransactionRecorder:
+def _run_synchotstuff(
+    config: ExperimentConfig, workload: AppWorkload, obs: Optional[Observability] = None
+) -> TransactionRecorder:
     net = SyncHotStuffNetwork(
         SyncHotStuffSettings(
             num_orgs=config.num_orgs,
@@ -234,6 +259,8 @@ def _run_synchotstuff(config: ExperimentConfig, workload: AppWorkload) -> Transa
             perf=config.perf(),
         )
     )
+    if obs is not None:
+        net.attach_observability(obs)
     for _ in range(config.effective_clients):
         net.add_client()
     workload_rng = net.rng.stream("workload")
@@ -267,10 +294,21 @@ def _mean_cpu_utilization(cpus) -> float:
     return sum(values) / len(values)
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one experiment and summarize its metrics."""
+def run_experiment(
+    config: ExperimentConfig, obs: Optional[Observability] = None
+) -> ExperimentResult:
+    """Run one experiment and summarize its metrics.
+
+    Pass ``obs`` to reuse a pre-built :class:`repro.obs.Observability`
+    (e.g. with an extra recorder); otherwise one is created when the
+    config asks for tracing or sampling.
+    """
     workload = make_workload(config)
-    recorder, extra = _RUNNERS[config.system](config, workload)
+    if obs is None and (config.trace or config.sample_interval > 0):
+        obs = Observability(
+            trace=config.trace, sample_interval=config.sample_interval
+        )
+    recorder, extra = _RUNNERS[config.system](config, workload, obs)
     return compute_result(
         recorder,
         system=config.system,
@@ -279,6 +317,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         scale=config.scale,
         timeline_bucket=config.timeline_bucket,
         extra=extra,
+        observability=obs,
     )
 
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig6a --duration 15 --scale 20
     python -m repro run table3
     python -m repro run fig9 --app auction
+    python -m repro trace --system orderlesschain --trace-out trace.json
     python -m repro check-iconfluence voting
 """
 
@@ -19,7 +20,9 @@ from repro.bench import experiments, export
 from repro.bench.reporting import (
     format_breakdown,
     format_comparison,
+    format_node_metrics,
     format_sweep,
+    format_table,
     format_timeline,
 )
 
@@ -155,6 +158,70 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run one traced experiment and export/inspect its trace."""
+    from dataclasses import asdict
+
+    from repro.bench.config import ExperimentConfig
+    from repro.bench.metrics import summarize_samples
+    from repro.bench.runner import run_experiment
+    from repro.obs.chrome import (
+        load_chrome_trace,
+        phase_means_from_trace,
+        write_chrome_trace,
+    )
+    from repro.obs.schema import validate_chrome_trace
+
+    kwargs = dict(
+        system=args.system,
+        app=args.app,
+        arrival_rate=args.rate,
+        num_orgs=args.orgs,
+        quorum=args.quorum,
+        duration=args.duration,
+        seed=args.seed,
+        trace=True,
+        sample_interval=args.sample_interval,
+    )
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    config = ExperimentConfig(**kwargs)
+    result = run_experiment(config)
+    collector = result.observability.trace
+    payload = write_chrome_trace(collector, args.trace_out)
+    print(
+        f"wrote {args.trace_out} "
+        f"({len(payload['traceEvents'])} events; open in chrome://tracing or ui.perfetto.dev)"
+    )
+    errors = validate_chrome_trace(payload)
+    if errors:
+        for error in errors:
+            print(f"schema violation: {error}", file=sys.stderr)
+        return 1
+    print()
+    print(format_table(["system", "app", "rate", "tput", "failed"],
+                       [[result.system, result.app, result.arrival_rate,
+                         round(result.throughput_tps, 1), result.failed]]))
+    # Regenerated from the exported file, not the in-memory collector:
+    # the trace JSON alone carries the Table-3-style breakdown.
+    print()
+    means = phase_means_from_trace(load_chrome_trace(args.trace_out))
+    print(format_breakdown(f"phase breakdown ({args.system}, regenerated from trace)", means))
+    print()
+    series = summarize_samples(collector)
+    print(format_node_metrics("node time-series metrics", series))
+    if args.metrics_out:
+        export.to_json(
+            {
+                "phase_means_ms": means,
+                "node_series": [asdict(stats) for stats in series],
+            },
+            path=args.metrics_out,
+        )
+        print(f"\nwrote {args.metrics_out}")
+    return 0
+
+
 def _cmd_check_iconfluence(args) -> int:
     from repro.contracts import AuctionContract, VotingContract
     from repro.tools import check_iconfluence
@@ -209,6 +276,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--output", default=None, help="write the figure data as JSON")
     run.set_defaults(func=_cmd_run)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run one traced experiment; export a chrome://tracing JSON and node metrics",
+    )
+    trace.add_argument(
+        "--system",
+        choices=["orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff"],
+        default="orderlesschain",
+    )
+    trace.add_argument("--app", choices=["synthetic", "voting", "auction"], default="voting")
+    trace.add_argument("--rate", type=float, default=2000.0, help="arrival rate, paper-scale tps")
+    trace.add_argument("--orgs", type=int, default=8)
+    trace.add_argument("--quorum", type=int, default=4)
+    trace.add_argument("--duration", type=float, default=10.0, help="simulated seconds")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--scale", type=float, default=None, help="scale-down factor (default: env)")
+    trace.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        help="simulated seconds between node metric samples (0 disables)",
+    )
+    trace.add_argument("--trace-out", default="trace.json", help="chrome trace output path")
+    trace.add_argument("--metrics-out", default=None, help="also write metrics summary as JSON")
+    trace.set_defaults(func=_cmd_trace)
 
     check = subparsers.add_parser(
         "check-iconfluence", help="empirically check a demo contract's I-confluence"

@@ -105,6 +105,9 @@ class Client:
         self.perf = perf
         self.rng = rng
         self.recorder = recorder
+        # Optional repro.obs recorder; when set, submissions emit
+        # lifecycle spans and instants. Passive — see repro.sim.core.
+        self.tracer = None
         self.config = config or ClientConfig()
         self.byzantine = byzantine
         self.clock = LamportClock(identity.identifier)
@@ -161,6 +164,39 @@ class Client:
             return chosen
         return self.rng.sample(candidates, count)
 
+    # -- tracing helpers ----------------------------------------------------------
+
+    def _trace_submitted(self, txn_id: str, kind: str) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                "txn/submitted",
+                self.sim.now,
+                node=self.client_id,
+                txn_id=txn_id,
+                attrs={"kind": kind},
+            )
+
+    def _trace_done(self, txn_id: str, started: float, kind: str, outcome: str) -> None:
+        """Close a transaction's ``client/txn`` span and mark its fate."""
+        if self.tracer is None:
+            return
+        committed = outcome == "committed"
+        self.tracer.instant(
+            "txn/committed" if committed else "txn/failed",
+            self.sim.now,
+            node=self.client_id,
+            txn_id=txn_id,
+            attrs=None if committed else {"reason": outcome},
+        )
+        self.tracer.span(
+            "client/txn",
+            started,
+            self.sim.now,
+            node=self.client_id,
+            txn_id=txn_id,
+            attrs={"kind": kind, "outcome": outcome},
+        )
+
     # -- Byzantine helpers --------------------------------------------------------
 
     def _misbehaves(self, fault: str) -> bool:
@@ -185,10 +221,13 @@ class Client:
         txn_id = proposal.proposal_id
         if self.recorder is not None and txn_id not in getattr(self.recorder, "records", {}):
             self.recorder.submitted(txn_id, self.client_id, "modify", self.sim.now)
+        started = self.sim.now
+        self._trace_submitted(txn_id, "modify")
         split_clock = self._misbehaves("split_clock")
 
         attempt = 0
         while True:
+            attempt_started = self.sim.now
             targets = self._select_orgs(q)
             pending = _Pending(self.sim, needed=q)
             self._pending_endorsements[txn_id] = pending
@@ -214,6 +253,15 @@ class Client:
             yield AnyOf(self.sim, [pending.event, timeout])
             endorsements: List[Endorsement] = list(pending.responses)
             del self._pending_endorsements[txn_id]
+            if self.tracer is not None:
+                self.tracer.span(
+                    "client/endorse_wait",
+                    attempt_started,
+                    self.sim.now,
+                    node=self.client_id,
+                    txn_id=txn_id,
+                    attrs={"attempt": attempt, "endorsements": len(endorsements)},
+                )
 
             majority = self._majority_write_set(endorsements)
             if majority is not None and len(majority) >= q:
@@ -225,6 +273,7 @@ class Client:
                 self.failed += 1
                 if self.recorder is not None:
                     self.recorder.failed(txn_id, self.sim.now, "endorsement failure")
+                self._trace_done(txn_id, started, "modify", "endorsement failure")
                 return False
             if self.recorder is not None:
                 self.recorder.retried(txn_id)
@@ -235,6 +284,7 @@ class Client:
             self.failed += 1
             if self.recorder is not None:
                 self.recorder.failed(txn_id, self.sim.now, "byzantine: proposal only")
+            self._trace_done(txn_id, started, "modify", "byzantine: proposal only")
             return False
 
         write_set = majority[0].write_set
@@ -255,6 +305,7 @@ class Client:
         commit_targets = self._select_orgs(q)
         if self._misbehaves("partial_commit"):
             commit_targets = commit_targets[:1]
+        commit_started = self.sim.now
         pending = _Pending(self.sim, needed=min(q, len(commit_targets)))
         self._pending_receipts[txn_id] = pending
         wire = transaction.to_wire()
@@ -272,6 +323,15 @@ class Client:
         yield AnyOf(self.sim, [pending.event, timeout])
         receipts: List[Receipt] = list(pending.responses)
         del self._pending_receipts[txn_id]
+        if self.tracer is not None:
+            self.tracer.span(
+                "client/commit_wait",
+                commit_started,
+                self.sim.now,
+                node=self.client_id,
+                txn_id=txn_id,
+                attrs={"receipts": len(receipts)},
+            )
 
         valid_orgs = {r.org_id for r in receipts if r.valid}
         rejections = [r for r in receipts if not r.valid]
@@ -279,11 +339,15 @@ class Client:
             self.committed += 1
             if self.recorder is not None:
                 self.recorder.committed(txn_id, self.sim.now)
+            self._trace_done(txn_id, started, "modify", "committed")
             return True
         self.failed += 1
         if self.recorder is not None:
             reason = "rejected" if rejections else "commit timeout"
             self.recorder.failed(txn_id, self.sim.now, reason)
+        self._trace_done(
+            txn_id, started, "modify", "rejected" if rejections else "commit timeout"
+        )
         return False
 
     @staticmethod
@@ -321,6 +385,8 @@ class Client:
         txn_id = proposal.proposal_id
         if self.recorder is not None:
             self.recorder.submitted(txn_id, self.client_id, "read", self.sim.now)
+        started = self.sim.now
+        self._trace_submitted(txn_id, "read")
         targets = self._select_orgs(q)
         pending = _Pending(self.sim, needed=q)
         self._pending_reads[txn_id] = pending
@@ -338,14 +404,25 @@ class Client:
         winner = yield AnyOf(self.sim, [pending.event, timeout])
         values = list(pending.responses)
         del self._pending_reads[txn_id]
+        if self.tracer is not None:
+            self.tracer.span(
+                "client/read_wait",
+                started,
+                self.sim.now,
+                node=self.client_id,
+                txn_id=txn_id,
+                attrs={"responses": len(values)},
+            )
         if winner is pending.event:
             self.committed += 1
             if self.recorder is not None:
                 self.recorder.committed(txn_id, self.sim.now)
+            self._trace_done(txn_id, started, "read", "committed")
             return values
         self.failed += 1
         if self.recorder is not None:
             self.recorder.failed(txn_id, self.sim.now, "read timeout")
+        self._trace_done(txn_id, started, "read", "read timeout")
         return None
 
 

@@ -69,6 +69,10 @@ class Organization:
         self.perf = perf
         self.rng = rng
         self.recorder = recorder
+        # Optional repro.obs recorder; when set, the endorse and commit
+        # paths emit lifecycle spans. Passive: no randomness, no state
+        # changes, no extra events (see repro.sim.core).
+        self.tracer = None
         self.ledger = Ledger(cache_enabled=cache_enabled)
         self.cpu = Resource(sim, capacity=perf.vcpus)
         self.cache_lock = Lock(sim)
@@ -174,9 +178,33 @@ class Organization:
         except (ContractError, CRDTError, TypeError):
             return  # malformed invocation: no endorsement, client times out
         write_set = context.write_set_wire()
-        yield from self.cpu.serve(
-            self.perf.endorse_base + self.perf.endorse_per_op * len(write_set)
-        )
+        # Inlined Resource.serve so the queue-wait/service boundary is
+        # observable; the event sequence is identical to serve().
+        request = self.cpu.request()
+        yield request
+        granted = self.sim.now
+        try:
+            yield self.sim.timeout(
+                self.perf.endorse_base + self.perf.endorse_per_op * len(write_set)
+            )
+        finally:
+            self.cpu.release(request)
+        if self.tracer is not None:
+            self.tracer.span(
+                "orderlesschain/P1/Queue",
+                arrived,
+                granted,
+                node=self.org_id,
+                txn_id=proposal.proposal_id,
+            )
+            self.tracer.span(
+                "orderlesschain/P1/CPU",
+                granted,
+                self.sim.now,
+                node=self.org_id,
+                txn_id=proposal.proposal_id,
+                attrs={"ops": len(write_set)},
+            )
         if (
             self.byzantine_active
             and self.byzantine is not None
@@ -187,6 +215,14 @@ class Organization:
         self.endorsed_count += 1
         if self.recorder is not None:
             self.recorder.phase("orderlesschain/P1/Execution", self.sim.now - arrived)
+        if self.tracer is not None:
+            self.tracer.span(
+                "orderlesschain/P1/Execution",
+                arrived,
+                self.sim.now,
+                node=self.org_id,
+                txn_id=proposal.proposal_id,
+            )
         self.network.send(
             Message(
                 sender=self.org_id,
@@ -278,7 +314,17 @@ class Organization:
             # latency growing with the object count while the
             # ops-per-object sweep (config 5) stays flat.
             touched_objects = len({operation.object_id for operation in operations})
+            apply_started = self.sim.now
             yield from self.cache_lock.serve(self.perf.apply_per_op * max(1, touched_objects))
+            if self.tracer is not None:
+                self.tracer.span(
+                    "orderlesschain/P2/Apply",
+                    apply_started,
+                    self.sim.now,
+                    node=self.org_id,
+                    txn_id=txn_id,
+                    attrs={"objects": touched_objects},
+                )
             if self.ledger.is_valid_transaction(txn_id):
                 # Another handler (client path or gossip) committed the
                 # same transaction while we waited for the lock.
@@ -336,13 +382,32 @@ class Organization:
                 message.sender, txn_id, self.ledger.log.head_hash, self.ledger.is_valid_transaction(txn_id)
             )
             return
+        verify_started = self.sim.now
         yield from self.cpu.serve(
             self.perf.commit_verify_base
             + self.perf.commit_verify_per_endorsement * len(transaction.endorsements)
         )
+        if self.tracer is not None:
+            self.tracer.span(
+                "orderlesschain/P2/Verify",
+                verify_started,
+                self.sim.now,
+                node=self.org_id,
+                txn_id=txn_id,
+                attrs={"endorsements": len(transaction.endorsements)},
+            )
         valid, block, _reason = yield from self._commit_transaction(transaction, via_gossip=False)
         if self.recorder is not None:
             self.recorder.phase("orderlesschain/P2/Commit", self.sim.now - arrived)
+        if self.tracer is not None:
+            self.tracer.span(
+                "orderlesschain/P2/Commit",
+                arrived,
+                self.sim.now,
+                node=self.org_id,
+                txn_id=txn_id,
+                attrs={"valid": valid},
+            )
         block_hash = block.block_hash if block is not None else self.ledger.log.head_hash
         self._send_receipt(message.sender, txn_id, block_hash, valid)
 

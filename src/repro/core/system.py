@@ -93,6 +93,7 @@ class OrderlessChainNetwork:
         for org in self.organizations:
             org.set_peers(org_ids)
         self.clients: List[Client] = []
+        self.observability = None
         self._started = False
 
     @property
@@ -138,10 +139,35 @@ class OrderlessChainNetwork:
             byzantine=byzantine,
         )
         self.clients.append(client)
+        if self.observability is not None:
+            client.tracer = self.observability.recorder
         return client
 
     def add_clients(self, count: int, **kwargs) -> List[Client]:
         return [self.add_client(**kwargs) for _ in range(count)]
+
+    def attach_observability(self, obs) -> None:
+        """Wire a :class:`repro.obs.Observability` into the network.
+
+        Sets the tracer on the network, every organization, and every
+        client (current and future), and — when sampling is enabled —
+        registers per-node CPU/cache-lock probes plus network counters
+        with the sampler. Call before :meth:`run`; safe to skip
+        entirely, in which case the run is untraced.
+        """
+        self.observability = obs
+        self.network.tracer = obs.recorder
+        for org in self.organizations:
+            org.tracer = obs.recorder
+        for client in self.clients:
+            client.tracer = obs.recorder
+        sampler = obs.bind(self.sim)
+        if sampler is not None:
+            for org in self.organizations:
+                sampler.watch_resource(org.org_id, "cpu", org.cpu)
+                sampler.watch_resource(org.org_id, "lock", org.cache_lock)
+            sampler.watch_network(self.network)
+            sampler.start()
 
     def start(self) -> None:
         """Start organization background processes (gossip)."""

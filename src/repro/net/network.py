@@ -4,6 +4,12 @@ Nodes register a delivery handler under their identifier; ``send``
 schedules delivery after a sampled link delay, applying loss,
 duplication, and corruption per the configured fault model. Partitions
 can be installed to exercise the CAP discussion of Section 3.
+
+When a tracer is attached (``Network.tracer``, set via the
+``repro.obs`` layer), every delivered message additionally emits a
+``net/hop`` span covering its time in flight. Tracing draws no
+randomness and schedules nothing, so traced and untraced runs are
+identical (see the event-loop contract in ``repro.sim.core``).
 """
 
 from __future__ import annotations
@@ -16,6 +22,21 @@ from repro.net.message import Message
 from repro.sim.core import Simulator
 
 DeliveryHandler = Callable[[Message], None]
+
+# Message-body keys that carry a transaction identifier, in priority
+# order. Used to correlate net/hop spans with transaction traces.
+_TXN_ID_KEYS = ("txn_id", "proposal_id", "transaction_id")
+
+
+def _txn_id_of(message: Message) -> Optional[str]:
+    """Best-effort transaction id carried by a message body."""
+    body = message.body
+    if isinstance(body, dict):
+        for key in _TXN_ID_KEYS:
+            value = body.get(key)
+            if isinstance(value, str):
+                return value
+    return None
 
 
 class Network:
@@ -40,6 +61,12 @@ class Network:
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        # Messages scheduled for delivery but not yet delivered; sampled
+        # by the observability layer as the ``net/in_flight`` gauge.
+        self.in_flight = 0
+        # Optional repro.obs recorder; when set, delivered messages emit
+        # ``net/hop`` spans. Purely passive — see module docstring.
+        self.tracer = None
 
     # -- membership -----------------------------------------------------
 
@@ -103,9 +130,21 @@ class Network:
         latency = self._latency_for(message.sender, message.recipient)
         delay = latency.delay_for(message.size_bytes, self._rng)
         handler = self._handlers[message.recipient]
+        self.in_flight += 1
+        sent_at = self._sim.now
 
         def deliver() -> None:
+            self.in_flight -= 1
             self.delivered_count += 1
+            if self.tracer is not None:
+                self.tracer.span(
+                    "net/hop",
+                    sent_at,
+                    self._sim.now,
+                    node=message.recipient,
+                    txn_id=_txn_id_of(message),
+                    attrs={"type": message.msg_type, "sender": message.sender},
+                )
             handler(message)
 
         self._sim.schedule(delay, deliver)

@@ -1,0 +1,94 @@
+"""``repro.obs`` — opt-in observability for the simulated stack.
+
+Three layers, per docs/OBSERVABILITY.md:
+
+* **transaction lifecycle tracing** — spans with sim-timestamps for
+  every protocol phase, collected by
+  :class:`~repro.obs.trace.TraceCollector` and exportable to the
+  ``chrome://tracing`` JSON format (:mod:`repro.obs.chrome`);
+* **node time-series metrics** — periodic per-node CPU utilization,
+  queue depths, and network in-flight counts
+  (:class:`~repro.obs.sampler.NodeSampler`);
+* **profiling hooks** — the pluggable
+  :class:`~repro.obs.recorder.Recorder` protocol, so benchmarks attach
+  collectors without touching protocol code.
+
+The layer is zero-overhead when disabled: components hold a ``tracer``
+attribute that defaults to ``None`` and every emission site is guarded
+by one attribute check. When enabled, recorders are *passive* — they
+never perturb simulated results (see ``repro.sim.core`` and
+``tests/obs/test_determinism.py``).
+
+Typical use::
+
+    from repro.obs import Observability
+
+    obs = Observability(trace=True, sample_interval=0.5)
+    net = OrderlessChainNetwork(settings)
+    net.add_clients(4)
+    net.attach_observability(obs)
+    net.run(until=30.0)
+
+    obs.trace.phase_means_ms()               # Table-3-style breakdown
+    from repro.obs.chrome import write_chrome_trace
+    write_chrome_trace(obs.trace, "trace.json")   # load in chrome://tracing
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.recorder import MultiRecorder, NullRecorder, Recorder
+from repro.obs.sampler import NodeSampler
+from repro.obs.trace import Instant, Sample, Span, TraceCollector
+
+
+class Observability:
+    """Bundles a trace collector and a node sampler for one run.
+
+    ``trace=False`` disables span/instant collection; a
+    ``sample_interval`` of 0 disables node time-series sampling. An
+    ``extra_recorder`` (any :class:`Recorder`) receives everything the
+    built-in collector does — the benchmark-pluggability hook.
+    """
+
+    def __init__(
+        self,
+        trace: bool = True,
+        sample_interval: float = 0.0,
+        extra_recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.trace: Optional[TraceCollector] = TraceCollector() if trace else None
+        sinks = [sink for sink in (self.trace, extra_recorder) if sink is not None]
+        if not sinks:
+            self.recorder: Recorder = NullRecorder()
+        elif len(sinks) == 1:
+            self.recorder = sinks[0]
+        else:
+            self.recorder = MultiRecorder(sinks)
+        self.sample_interval = sample_interval
+        self.sampler: Optional[NodeSampler] = None
+
+    def bind(self, sim) -> Optional[NodeSampler]:
+        """Create (once) and return the sampler for ``sim``.
+
+        Called by a network's ``attach_observability``; returns ``None``
+        when sampling is disabled. The sampler is started by the caller
+        after registering its probes.
+        """
+        if self.sample_interval > 0 and self.sampler is None:
+            self.sampler = NodeSampler(sim, self.recorder, self.sample_interval)
+        return self.sampler
+
+
+__all__ = [
+    "Instant",
+    "MultiRecorder",
+    "NodeSampler",
+    "NullRecorder",
+    "Observability",
+    "Recorder",
+    "Sample",
+    "Span",
+    "TraceCollector",
+]

@@ -1,0 +1,103 @@
+"""The ``Recorder`` protocol — the pluggable profiling hook.
+
+Protocol components (organizations, clients, the network, baseline
+peers) hold an optional ``tracer`` attribute. When it is ``None`` —
+the default — every emission site is a single attribute check and the
+observability layer costs nothing. When a :class:`Recorder` is
+attached, components report three kinds of facts:
+
+* **spans** — a named interval of simulated time, optionally tied to a
+  node and a transaction id (``orderlesschain/P1/Execution`` from
+  proposal arrival to endorsement send);
+* **instants** — a point event (``txn/committed``);
+* **samples** — a periodic gauge/counter reading
+  (``node/cpu/utilization`` at t=4.0 on ``org2``).
+
+Recorders must be *passive*: they only read simulated time and state
+handed to them, never draw randomness, schedule events, or mutate
+protocol state. That contract is what keeps a traced run byte-identical
+to an untraced one (see ``repro.sim.core``), and it is covered by
+``tests/obs/test_determinism.py``.
+
+Every name emitted through a recorder is documented in
+``repro.obs.schema``; see ``docs/OBSERVABILITY.md`` for the full
+catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """What a pluggable collector must implement.
+
+    Benchmarks attach collectors through this protocol without touching
+    protocol code: anything with these three methods can be set as a
+    component's ``tracer``.
+    """
+
+    def span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        node: str = "",
+        txn_id: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a closed interval [start, end] of simulated seconds."""
+        ...
+
+    def instant(
+        self,
+        name: str,
+        at: float,
+        *,
+        node: str = "",
+        txn_id: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a point event at simulated time ``at``."""
+        ...
+
+    def sample(self, name: str, at: float, value: float, *, node: str = "") -> None:
+        """Record one reading of a gauge or cumulative counter."""
+        ...
+
+
+class NullRecorder:
+    """A recorder that drops everything (an explicit no-op sink)."""
+
+    def span(self, name, start, end, *, node="", txn_id=None, attrs=None) -> None:
+        pass
+
+    def instant(self, name, at, *, node="", txn_id=None, attrs=None) -> None:
+        pass
+
+    def sample(self, name, at, value, *, node="") -> None:
+        pass
+
+
+class MultiRecorder:
+    """Fan one emission stream out to several recorders."""
+
+    def __init__(self, recorders: Sequence[Recorder]) -> None:
+        self.recorders = list(recorders)
+
+    def span(self, name, start, end, *, node="", txn_id=None, attrs=None) -> None:
+        for recorder in self.recorders:
+            recorder.span(name, start, end, node=node, txn_id=txn_id, attrs=attrs)
+
+    def instant(self, name, at, *, node="", txn_id=None, attrs=None) -> None:
+        for recorder in self.recorders:
+            recorder.instant(name, at, node=node, txn_id=txn_id, attrs=attrs)
+
+    def sample(self, name, at, value, *, node="") -> None:
+        for recorder in self.recorders:
+            recorder.sample(name, at, value, node=node)
+
+
+__all__ = ["Recorder", "NullRecorder", "MultiRecorder"]

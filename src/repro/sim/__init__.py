@@ -13,6 +13,12 @@ This package provides the substrate on which every simulated node
   model CPU contention and the CRDT-cache lock;
 * :class:`~repro.sim.rng.RngRegistry` — named, seeded random streams so
   every experiment is reproducible.
+
+The kernel guarantees an *event-loop contract* (stated in full in
+``repro.sim.core``): deterministic ``(time, sequence)`` ordering, no
+unseeded randomness, and safety of passive observation — the
+``repro.obs`` layer may watch any run without changing its simulated
+results. Each submodule's docstring notes how it upholds the contract.
 """
 
 from repro.sim.core import Simulator

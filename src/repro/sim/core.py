@@ -4,6 +4,32 @@ The simulator is a priority queue of ``(time, sequence, callback)``
 entries. Time is a float in seconds. The ``sequence`` counter breaks
 ties so that events scheduled earlier run earlier, which makes runs
 fully deterministic for a fixed seed.
+
+Event-loop contract
+-------------------
+
+Everything built on this kernel — the protocol stack, the baselines,
+and the observability layer — relies on these guarantees:
+
+* **Determinism.** Callbacks run in strictly increasing ``(time,
+  sequence)`` order. Two events at the same simulated time run in the
+  order they were scheduled. There is no wall-clock anywhere: given the
+  same seed and the same sequence of ``schedule`` calls, a run is
+  bit-for-bit reproducible.
+* **Seeded randomness only.** The kernel itself draws no randomness.
+  All stochastic behaviour flows through named streams from
+  ``repro.sim.rng.RngRegistry``; a component must never share another
+  component's stream, so adding draws to one stream cannot perturb
+  another.
+* **Passive observation.** Hooks that *observe* a run (the
+  ``repro.obs`` recorders and samplers) must not draw randomness, must
+  not mutate protocol state, and may only add their own callbacks
+  (e.g. periodic sampling). Extra callbacks consume sequence numbers,
+  which shifts the absolute ``sequence`` values of later events but
+  never their *relative* order — so protocol behaviour, RNG streams,
+  and therefore ledger state are identical with and without
+  observation. ``tests/obs/test_determinism.py`` asserts this
+  byte-for-byte.
 """
 
 from __future__ import annotations

@@ -4,6 +4,13 @@ An :class:`Event` is a one-shot signal carrying an optional value.
 Processes wait on events by yielding them; when the event triggers, the
 process resumes and the ``yield`` expression evaluates to the event's
 value.
+
+Event-loop contract (see ``repro.sim.core``): trigger callbacks are
+scheduled — never invoked inline — so waiters always resume through the
+simulator's deterministic ``(time, sequence)`` order. Multiple waiters
+on one event wake in registration order. None of these primitives draw
+randomness; observability hooks may inspect ``triggered``/``value``
+freely but must not call :meth:`Event.trigger` themselves.
 """
 
 from __future__ import annotations

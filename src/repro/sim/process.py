@@ -6,6 +6,14 @@ triggers; the ``yield`` expression evaluates to the event's value.
 Returning from the generator completes the process; a process is itself
 an event whose value is the generator's return value, so processes can
 wait on each other.
+
+Event-loop contract (see ``repro.sim.core``): a process advances only
+inside scheduled callbacks, so interleaving between processes is fully
+determined by the simulator's ``(time, sequence)`` order — there is no
+preemption between two yields. Instrumentation inside a process (span
+emission around a ``yield``) therefore observes exact phase boundaries;
+it must remain passive (no RNG draws, no extra yields) to preserve the
+determinism guarantee the observability layer depends on.
 """
 
 from __future__ import annotations

@@ -5,6 +5,15 @@ a node's CPU (the paper's VMs have four vCPUs). A :class:`Lock` is a
 capacity-one resource; it models OrderlessChain's CRDT-cache lock,
 which serializes cache reads and writes (Section 9, "the cache's
 locking mechanism ... due to Go language constraints").
+
+Event-loop contract (see ``repro.sim.core`` for the full statement):
+grant order is strictly FIFO and driven only by the simulator's
+deterministic event order — a resource draws no randomness. The
+accounting surface (:meth:`Resource.busy_seconds`,
+:meth:`Resource.utilization`, ``in_use``, ``queue_length``) is
+read-only and schedules nothing, so observability probes
+(``repro.obs.sampler``) may poll it at any time without perturbing
+grant order or simulated results.
 """
 
 from __future__ import annotations
@@ -46,6 +55,17 @@ class Resource:
         now = self._sim.now
         self._busy_time += self._in_use * (now - self._last_change)
         self._last_change = now
+
+    def busy_seconds(self) -> float:
+        """Accumulated slot-seconds of service up to the current time.
+
+        Monotone non-decreasing; samplers window utilization by taking
+        deltas of this value (``repro.obs.sampler``). Reading it only
+        folds elapsed time into the accounting — no events, no state
+        visible to waiters.
+        """
+        self._account()
+        return self._busy_time
 
     def utilization(self, since: float = 0.0) -> float:
         """Mean fraction of capacity busy over [since, now]."""

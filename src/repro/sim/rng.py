@@ -5,6 +5,14 @@ choices, Byzantine coin flips) draws from its own named stream derived
 from the experiment seed. Components therefore stay independent: adding
 draws to one stream never perturbs another, which keeps experiments
 comparable across configurations.
+
+This is one half of the simulator's determinism guarantee (the other is
+the event loop's ``(time, sequence)`` ordering — see
+``repro.sim.core``): stream contents depend only on ``seed`` and the
+stream's name, never on creation order. Observability hooks must not
+draw from *any* stream — a recorder that consumed randomness would
+shift every later draw on that stream and silently change the run it
+claims to measure.
 """
 
 from __future__ import annotations
