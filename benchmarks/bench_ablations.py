@@ -13,9 +13,9 @@ from repro.bench.experiments import ablation_cache, ablation_gossip_interval
 from repro.bench.reporting import format_sweep
 
 
-def test_ablation_cache(benchmark, bench_duration, emit_report):
+def test_ablation_cache(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: ablation_cache(duration=bench_duration), rounds=1, iterations=1
+        lambda: ablation_cache(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Ablation: CRDT value cache", "cache", results))
     by_label = dict(results)
@@ -25,9 +25,9 @@ def test_ablation_cache(benchmark, bench_duration, emit_report):
     )
 
 
-def test_ablation_gossip_interval(benchmark, bench_duration, emit_report):
+def test_ablation_gossip_interval(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: ablation_gossip_interval(duration=bench_duration), rounds=1, iterations=1
+        lambda: ablation_gossip_interval(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Ablation: gossip interval", "period", results))
     latencies = [r.latency_modify.avg_ms for _, r in results]
@@ -36,7 +36,7 @@ def test_ablation_gossip_interval(benchmark, bench_duration, emit_report):
     assert max(latencies) < 1.5 * min(latencies)
 
 
-def test_ablation_fabric_orderer(benchmark, bench_duration, emit_report):
+def test_ablation_fabric_orderer(benchmark, bench_duration, bench_jobs, emit_report):
     from repro.bench.experiments import ablation_fabric_orderer
 
     results = benchmark.pedantic(

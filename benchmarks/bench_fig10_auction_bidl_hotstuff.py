@@ -4,9 +4,9 @@ from repro.bench.experiments import fig10_comparison
 from repro.bench.reporting import format_comparison
 
 
-def test_fig10_auction(benchmark, bench_duration, emit_report):
+def test_fig10_auction(benchmark, bench_duration, bench_jobs, emit_report):
     series = benchmark.pedantic(
-        lambda: fig10_comparison("auction", duration=bench_duration), rounds=1, iterations=1
+        lambda: fig10_comparison("auction", duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_comparison("Figure 10(b)/(d): auction application", "rate", series))
 

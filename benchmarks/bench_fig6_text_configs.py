@@ -21,34 +21,34 @@ def _flat(latencies, tolerance):
     return max(latencies) < tolerance * min(latencies)
 
 
-def test_config5_ops_per_object(benchmark, bench_duration, emit_report):
+def test_config5_ops_per_object(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: text_config_ops_per_object(duration=bench_duration), rounds=1, iterations=1
+        lambda: text_config_ops_per_object(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Config 5: operations per object", "ops", results))
     assert _flat([r.latency_modify.avg_ms for _, r in results], 1.6)
 
 
-def test_config6_crdt_type(benchmark, bench_duration, emit_report):
+def test_config6_crdt_type(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: text_config_crdt_type(duration=bench_duration), rounds=1, iterations=1
+        lambda: text_config_crdt_type(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Config 6: CRDT type", "type", results))
     assert _flat([r.latency_modify.avg_ms for _, r in results], 1.5)
     assert _flat([r.throughput_tps for _, r in results], 1.2)
 
 
-def test_config7_workload_mix(benchmark, bench_duration, emit_report):
+def test_config7_workload_mix(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: text_config_workload_mix(duration=bench_duration), rounds=1, iterations=1
+        lambda: text_config_workload_mix(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Config 7: read/modify mix", "mix", results))
     assert _flat([r.throughput_tps for _, r in results], 1.25)
 
 
-def test_config8_workload_skew(benchmark, bench_duration, emit_report):
+def test_config8_workload_skew(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: text_config_workload_skew(duration=bench_duration), rounds=1, iterations=1
+        lambda: text_config_workload_skew(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Config 8: load distribution per org", "dist", results))
     latencies = [r.latency_modify.avg_ms for _, r in results]
@@ -56,9 +56,9 @@ def test_config8_workload_skew(benchmark, bench_duration, emit_report):
     assert _flat(latencies, 1.5)
 
 
-def test_config9_gossip_ratio(benchmark, bench_duration, emit_report):
+def test_config9_gossip_ratio(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: text_config_gossip_ratio(duration=bench_duration), rounds=1, iterations=1
+        lambda: text_config_gossip_ratio(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Config 9: gossip ratio", "fanout", results))
     assert _flat([r.latency_modify.avg_ms for _, r in results], 1.5)

@@ -8,9 +8,9 @@ from repro.bench.experiments import fig6a_arrival_rate
 from repro.bench.reporting import format_sweep
 
 
-def test_fig6a_arrival_rate(benchmark, bench_duration, emit_report):
+def test_fig6a_arrival_rate(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: fig6a_arrival_rate(duration=bench_duration), rounds=1, iterations=1
+        lambda: fig6a_arrival_rate(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Figure 6(a): transaction arrival rate", "rate", results))
 

@@ -8,9 +8,9 @@ from repro.bench.experiments import fig6b_organizations
 from repro.bench.reporting import format_sweep
 
 
-def test_fig6b_organizations(benchmark, bench_duration, emit_report):
+def test_fig6b_organizations(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: fig6b_organizations(duration=bench_duration), rounds=1, iterations=1
+        lambda: fig6b_organizations(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Figure 6(b): number of organizations", "orgs", results))
 

@@ -10,9 +10,9 @@ from repro.bench.experiments import fig6c_endorsement_policy
 from repro.bench.reporting import format_sweep
 
 
-def test_fig6c_endorsement_policy(benchmark, bench_duration, emit_report):
+def test_fig6c_endorsement_policy(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: fig6c_endorsement_policy(duration=bench_duration), rounds=1, iterations=1
+        lambda: fig6c_endorsement_policy(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Figure 6(c): endorsement policy {q of 16}", "EP", results))
 

@@ -9,9 +9,9 @@ from repro.bench.experiments import fig6d_object_count
 from repro.bench.reporting import format_sweep
 
 
-def test_fig6d_object_count(benchmark, bench_duration, emit_report):
+def test_fig6d_object_count(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: fig6d_object_count(duration=bench_duration), rounds=1, iterations=1
+        lambda: fig6d_object_count(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_sweep("Figure 6(d): objects per transaction", "objects", results))
 

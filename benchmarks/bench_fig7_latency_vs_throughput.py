@@ -10,10 +10,10 @@ from repro.bench.experiments import fig7_latency_vs_throughput
 from repro.bench.reporting import format_comparison
 
 
-def test_fig7_latency_vs_throughput(benchmark, bench_duration, emit_report):
+def test_fig7_latency_vs_throughput(benchmark, bench_duration, bench_jobs, emit_report):
     series = benchmark.pedantic(
         lambda: fig7_latency_vs_throughput(
-            duration=bench_duration, rates=[1000, 3000, 5000, 8000, 10000]
+            duration=bench_duration, jobs=bench_jobs, rates=[1000, 3000, 5000, 8000, 10000]
         ),
         rounds=1,
         iterations=1,

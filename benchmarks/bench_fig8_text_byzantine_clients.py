@@ -13,9 +13,9 @@ from repro.bench.experiments import fig8_text_byzantine_clients
 from repro.bench.reporting import format_sweep
 
 
-def test_byzantine_clients_only(benchmark, bench_duration, emit_report):
+def test_byzantine_clients_only(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
-        lambda: fig8_text_byzantine_clients(duration=bench_duration),
+        lambda: fig8_text_byzantine_clients(duration=bench_duration, jobs=bench_jobs),
         rounds=1,
         iterations=1,
     )
@@ -29,10 +29,10 @@ def test_byzantine_clients_only(benchmark, bench_duration, emit_report):
             assert result.latency_modify.avg_ms < 1000
 
 
-def test_byzantine_clients_and_orgs_combined(benchmark, bench_duration, emit_report):
+def test_byzantine_clients_and_orgs_combined(benchmark, bench_duration, bench_jobs, emit_report):
     results = benchmark.pedantic(
         lambda: fig8_text_byzantine_clients(
-            duration=bench_duration, with_byzantine_orgs=True, fractions=[0.5]
+            duration=bench_duration, jobs=bench_jobs, with_byzantine_orgs=True, fractions=[0.5]
         ),
         rounds=1,
         iterations=1,

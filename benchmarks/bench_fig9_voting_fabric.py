@@ -11,9 +11,9 @@ from repro.bench.experiments import fig9_comparison
 from repro.bench.reporting import format_comparison
 
 
-def test_fig9_voting(benchmark, bench_duration, emit_report):
+def test_fig9_voting(benchmark, bench_duration, bench_jobs, emit_report):
     series = benchmark.pedantic(
-        lambda: fig9_comparison("voting", duration=bench_duration), rounds=1, iterations=1
+        lambda: fig9_comparison("voting", duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     emit_report(format_comparison("Figure 9(a)/(c): voting application", "rate", series))
 

@@ -1,0 +1,19 @@
+"""Perf microbenchmark harness — tracks the repo's events/sec trajectory.
+
+Run directly to measure the hot paths and update ``BENCH_perf.json``::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke   # fast check
+
+The first run against a missing report records itself as the baseline;
+later runs keep that baseline and report per-workload speedups (see
+docs/PERFORMANCE.md). The logic lives in :mod:`repro.bench.perfbench`
+so the tier-1 ``perf_smoke`` test can exercise it without this script.
+"""
+
+import sys
+
+from repro.bench.perfbench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,9 +13,9 @@ from repro.bench.experiments import table3_breakdown
 from repro.bench.reporting import format_breakdown
 
 
-def test_table3_breakdown(benchmark, bench_duration, emit_report):
+def test_table3_breakdown(benchmark, bench_duration, bench_jobs, emit_report):
     rows = benchmark.pedantic(
-        lambda: table3_breakdown(duration=bench_duration), rounds=1, iterations=1
+        lambda: table3_breakdown(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
     )
     for system, phases in rows.items():
         emit_report(format_breakdown(f"Table 3 - {system}", phases))
@@ -43,7 +43,7 @@ def test_table3_breakdown(benchmark, bench_duration, emit_report):
     assert hotstuff["hotstuff/P1/Consensus"] > 10 * hotstuff["hotstuff/P2/Commit"]
 
 
-def test_resource_utilization_comparison(benchmark, bench_duration, emit_report):
+def test_resource_utilization_comparison(benchmark, bench_duration, bench_jobs, emit_report):
     """Section 9 text: OrderlessChain organizations utilize more CPU
     than Fabric organizations at the same load (paper: ~50 % vs ~30 %
     at 2500 tps voting), attributed to applying CRDT operations to the
@@ -51,7 +51,7 @@ def test_resource_utilization_comparison(benchmark, bench_duration, emit_report)
     from repro.bench.experiments import resource_utilization_comparison
 
     utilizations = benchmark.pedantic(
-        lambda: resource_utilization_comparison(duration=bench_duration),
+        lambda: resource_utilization_comparison(duration=bench_duration, jobs=bench_jobs),
         rounds=1,
         iterations=1,
     )

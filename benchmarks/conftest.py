@@ -7,6 +7,10 @@ reduced duration (``REPRO_BENCH_DURATION``, default 15 simulated
 seconds vs the paper's 180), so the full suite completes on a laptop.
 
 Set ``REPRO_BENCH_SCALE=1 REPRO_BENCH_DURATION=180`` for paper scale.
+
+Sweep-based benchmarks fan their experiment points over
+``REPRO_BENCH_JOBS`` worker processes (default 1 = serial; results are
+identical either way — see docs/PERFORMANCE.md).
 """
 
 import os
@@ -27,6 +31,13 @@ def emit(text: str) -> None:
 @pytest.fixture
 def bench_duration() -> float:
     return float(os.environ.get("REPRO_BENCH_DURATION", "15"))
+
+
+@pytest.fixture
+def bench_jobs() -> int:
+    from repro.bench.parallel import default_jobs
+
+    return default_jobs()
 
 
 @pytest.fixture

@@ -8,6 +8,12 @@ preserving utilization, contention, and therefore shape.
 
 Durations default to a fraction of the paper's 180 s so the full suite
 completes quickly; pass ``duration=180`` for the paper's length.
+
+Every sweep accepts ``jobs``: the number of worker processes used to
+run its points concurrently via :func:`repro.bench.parallel.run_sweep`.
+``None`` defers to the ``REPRO_BENCH_JOBS`` environment variable
+(default 1 = serial). Results are identical for any job count — each
+point is an isolated, seeded simulation (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.config import ByzantineWindow, ExperimentConfig, default_scale
 from repro.bench.metrics import ExperimentResult
+from repro.bench.parallel import expect_results, run_sweep
 from repro.bench.runner import run_experiment
 
 SweepResult = List[Tuple[object, ExperimentResult]]
@@ -45,6 +52,15 @@ def _base(duration: float, scale: Optional[float], seed: int) -> Dict[str, objec
     }
 
 
+def _sweep(
+    labels: Sequence[object],
+    configs: Sequence[ExperimentConfig],
+    jobs: Optional[int],
+) -> SweepResult:
+    """Run ``configs`` (possibly in parallel) and pair with ``labels``."""
+    return list(zip(labels, expect_results(run_sweep(configs, jobs=jobs))))
+
+
 # -- E1, Figure 6(a): transaction arrival rate -----------------------------
 
 
@@ -53,15 +69,16 @@ def fig6a_arrival_rate(
     duration: float = 20.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     rates = rates or DEFAULT_ARRIVAL_RATES
-    results = []
-    for rate in rates:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             system="orderlesschain", app="synthetic", arrival_rate=rate, **_base(duration, scale, seed)
         )
-        results.append((rate, run_experiment(config)))
-    return results
+        for rate in rates
+    ]
+    return _sweep(rates, configs, jobs)
 
 
 # -- E2, Figure 6(b): number of organizations, EP {4 of n} ---------------------
@@ -72,19 +89,20 @@ def fig6b_organizations(
     duration: float = 20.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     org_counts = org_counts or PAPER_ORG_COUNTS
-    results = []
-    for num_orgs in org_counts:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             system="orderlesschain",
             app="synthetic",
             num_orgs=num_orgs,
             quorum=4,
             **_base(duration, scale, seed),
         )
-        results.append((num_orgs, run_experiment(config)))
-    return results
+        for num_orgs in org_counts
+    ]
+    return _sweep(org_counts, configs, jobs)
 
 
 # -- E3, Figure 6(c): endorsement policy {q of 16} ------------------------------
@@ -95,19 +113,20 @@ def fig6c_endorsement_policy(
     duration: float = 20.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     quorums = quorums or DEFAULT_QUORUMS
-    results = []
-    for quorum in quorums:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             system="orderlesschain",
             app="synthetic",
             num_orgs=16,
             quorum=quorum,
             **_base(duration, scale, seed),
         )
-        results.append((f"{quorum} of 16", run_experiment(config)))
-    return results
+        for quorum in quorums
+    ]
+    return _sweep([f"{quorum} of 16" for quorum in quorums], configs, jobs)
 
 
 # -- E4, Figure 6(d): number of objects per transaction ----------------------------
@@ -118,18 +137,19 @@ def fig6d_object_count(
     duration: float = 20.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     object_counts = object_counts or DEFAULT_OBJECT_COUNTS
-    results = []
-    for obj_count in object_counts:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             system="orderlesschain",
             app="synthetic",
             obj_count=obj_count,
             **_base(duration, scale, seed),
         )
-        results.append((obj_count, run_experiment(config)))
-    return results
+        for obj_count in object_counts
+    ]
+    return _sweep(object_counts, configs, jobs)
 
 
 # -- E5, configurations 5-9 (reported in the text of Section 9) ------------------
@@ -140,63 +160,68 @@ def text_config_ops_per_object(
     duration: float = 15.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Config 5: operations per object (text: unaffected)."""
     ops_counts = ops_counts or PAPER_OPS_PER_OBJ
-    return [
-        (
-            ops,
-            run_experiment(
-                ExperimentConfig(
-                    system="orderlesschain",
-                    app="synthetic",
-                    ops_per_obj=ops,
-                    **_base(duration, scale, seed),
-                )
-            ),
+    configs = [
+        ExperimentConfig(
+            system="orderlesschain",
+            app="synthetic",
+            ops_per_obj=ops,
+            **_base(duration, scale, seed),
         )
         for ops in ops_counts
     ]
+    return _sweep(ops_counts, configs, jobs)
 
 
 def text_config_crdt_type(
-    duration: float = 15.0, scale: Optional[float] = None, seed: int = 0
+    duration: float = 15.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Config 6: CRDT type (text: independent of type)."""
-    return [
-        (
-            crdt_type,
-            run_experiment(
-                ExperimentConfig(
-                    system="orderlesschain",
-                    app="synthetic",
-                    crdt_type=crdt_type,
-                    **_base(duration, scale, seed),
-                )
-            ),
+    crdt_types = ("gcounter", "mvregister", "map")
+    configs = [
+        ExperimentConfig(
+            system="orderlesschain",
+            app="synthetic",
+            crdt_type=crdt_type,
+            **_base(duration, scale, seed),
         )
-        for crdt_type in ("gcounter", "mvregister", "map")
+        for crdt_type in crdt_types
     ]
+    return _sweep(crdt_types, configs, jobs)
 
 
 def text_config_workload_mix(
-    duration: float = 15.0, scale: Optional[float] = None, seed: int = 0
+    duration: float = 15.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Config 7: read/modify mix from R10M90 to R90M10 (text: unaffected)."""
-    results = []
-    for modify_pct in (90, 70, 50, 30, 10):
-        config = ExperimentConfig(
+    modify_pcts = (90, 70, 50, 30, 10)
+    configs = [
+        ExperimentConfig(
             system="orderlesschain",
             app="synthetic",
             modify_ratio=modify_pct / 100.0,
             **_base(duration, scale, seed),
         )
-        results.append((f"R{100 - modify_pct}M{modify_pct}", run_experiment(config)))
-    return results
+        for modify_pct in modify_pcts
+    ]
+    labels = [f"R{100 - modify_pct}M{modify_pct}" for modify_pct in modify_pcts]
+    return _sweep(labels, configs, jobs)
 
 
 def text_config_workload_skew(
-    duration: float = 15.0, scale: Optional[float] = None, seed: int = 0
+    duration: float = 15.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Config 8: uniform vs normally-distributed load per organization."""
     import math
@@ -208,10 +233,7 @@ def text_config_workload_skew(
     n = uniform.num_orgs
     weights = tuple(math.exp(-(((i - (n - 1) / 2) / (n / 4)) ** 2)) for i in range(n))
     skewed = uniform.with_(org_weights=weights)
-    return [
-        ("uniform", run_experiment(uniform)),
-        ("normal", run_experiment(skewed)),
-    ]
+    return _sweep(["uniform", "normal"], [uniform, skewed], jobs)
 
 
 def text_config_gossip_ratio(
@@ -219,23 +241,20 @@ def text_config_gossip_ratio(
     duration: float = 15.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Config 9: gossip ratio 1..15 organizations (text: no change)."""
     ratios = ratios or [1, 3, 7, 15]
-    return [
-        (
-            fanout,
-            run_experiment(
-                ExperimentConfig(
-                    system="orderlesschain",
-                    app="synthetic",
-                    gossip_fanout=fanout,
-                    **_base(duration, scale, seed),
-                )
-            ),
+    configs = [
+        ExperimentConfig(
+            system="orderlesschain",
+            app="synthetic",
+            gossip_fanout=fanout,
+            **_base(duration, scale, seed),
         )
         for fanout in ratios
     ]
+    return _sweep(ratios, configs, jobs)
 
 
 # -- E6, Figure 7: latency vs throughput for 16/24/32 organizations ---------------
@@ -247,23 +266,28 @@ def fig7_latency_vs_throughput(
     duration: float = 20.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SweepResult]:
     org_counts = org_counts or [16, 24, 32]
     rates = rates or DEFAULT_ARRIVAL_RATES
-    series: Dict[str, SweepResult] = {}
-    for num_orgs in org_counts:
-        points = []
-        for rate in rates:
-            config = ExperimentConfig(
-                system="orderlesschain",
-                app="synthetic",
-                num_orgs=num_orgs,
-                quorum=4,
-                arrival_rate=rate,
-                **_base(duration, scale, seed),
-            )
-            points.append((rate, run_experiment(config)))
-        series[f"{num_orgs} orgs"] = points
+    # One flat sweep over the whole (orgs x rate) grid, so parallel
+    # workers stay busy across series boundaries.
+    grid = [(num_orgs, rate) for num_orgs in org_counts for rate in rates]
+    configs = [
+        ExperimentConfig(
+            system="orderlesschain",
+            app="synthetic",
+            num_orgs=num_orgs,
+            quorum=4,
+            arrival_rate=rate,
+            **_base(duration, scale, seed),
+        )
+        for num_orgs, rate in grid
+    ]
+    results = expect_results(run_sweep(configs, jobs=jobs))
+    series: Dict[str, SweepResult] = {f"{num_orgs} orgs": [] for num_orgs in org_counts}
+    for (num_orgs, rate), result in zip(grid, results):
+        series[f"{num_orgs} orgs"].append((rate, result))
     return series
 
 
@@ -308,16 +332,16 @@ def fig8_text_byzantine_clients(
     duration: float = 20.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """E8: Byzantine client fractions 50/75/100 %, optionally with
     three Byzantine organizations (Table 2 rows 11-12)."""
     fractions = fractions or [0.5, 0.75, 1.0]
-    results = []
-    for fraction in fractions:
-        windows = (
-            (ByzantineWindow(count=3, start=0.0, end=None),) if with_byzantine_orgs else ()
-        )
-        config = ExperimentConfig(
+    windows = (
+        (ByzantineWindow(count=3, start=0.0, end=None),) if with_byzantine_orgs else ()
+    )
+    configs = [
+        ExperimentConfig(
             system="orderlesschain",
             app="synthetic",
             byzantine_client_fraction=fraction,
@@ -325,11 +349,43 @@ def fig8_text_byzantine_clients(
             byzantine_org_windows=windows,
             **_base(duration, scale, seed),
         )
-        results.append((f"{int(fraction * 100)}%", run_experiment(config)))
-    return results
+        for fraction in fractions
+    ]
+    labels = [f"{int(fraction * 100)}%" for fraction in fractions]
+    return _sweep(labels, configs, jobs)
 
 
 # -- E9-E12, Figures 9 and 10: voting and auction across systems --------------------
+
+
+def _comparison(
+    systems: Sequence[str],
+    app: str,
+    rates: Sequence[float],
+    num_orgs: int,
+    duration: float,
+    scale: Optional[float],
+    seed: int,
+    jobs: Optional[int],
+) -> Dict[str, SweepResult]:
+    """Shared system-comparison grid for Figures 9 and 10."""
+    grid = [(system, rate) for system in systems for rate in rates]
+    configs = [
+        ExperimentConfig(
+            system=system,
+            app=app,
+            num_orgs=num_orgs,
+            quorum=4,
+            arrival_rate=rate,
+            **_base(duration, scale, seed + int(rate)),
+        )
+        for system, rate in grid
+    ]
+    results = expect_results(run_sweep(configs, jobs=jobs))
+    series: Dict[str, SweepResult] = {system: [] for system in systems}
+    for (system, rate), result in zip(grid, results):
+        series[system].append((rate, result))
+    return series
 
 
 def fig9_comparison(
@@ -338,24 +394,20 @@ def fig9_comparison(
     duration: float = 20.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SweepResult]:
     """OrderlessChain vs Fabric vs FabricCRDT, 8 orgs, EP {4 of 8}."""
     rates = rates or PAPER_FIG9_RATES
-    series: Dict[str, SweepResult] = {}
-    for system in ("orderlesschain", "fabric", "fabriccrdt"):
-        points = []
-        for rate in rates:
-            config = ExperimentConfig(
-                system=system,
-                app=app,
-                num_orgs=8,
-                quorum=4,
-                arrival_rate=rate,
-                **_base(duration, scale, seed + int(rate)),
-            )
-            points.append((rate, run_experiment(config)))
-        series[system] = points
-    return series
+    return _comparison(
+        ("orderlesschain", "fabric", "fabriccrdt"),
+        app,
+        rates,
+        num_orgs=8,
+        duration=duration,
+        scale=scale,
+        seed=seed,
+        jobs=jobs,
+    )
 
 
 def fig10_comparison(
@@ -364,45 +416,44 @@ def fig10_comparison(
     duration: float = 20.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SweepResult]:
     """OrderlessChain vs BIDL vs Sync HotStuff, 16 orgs, EP {4 of 16}."""
     rates = rates or DEFAULT_FIG10_RATES
-    series: Dict[str, SweepResult] = {}
-    for system in ("orderlesschain", "bidl", "synchotstuff"):
-        points = []
-        for rate in rates:
-            config = ExperimentConfig(
-                system=system,
-                app=app,
-                num_orgs=16,
-                quorum=4,
-                arrival_rate=rate,
-                **_base(duration, scale, seed + int(rate)),
-            )
-            points.append((rate, run_experiment(config)))
-        series[system] = points
-    return series
+    return _comparison(
+        ("orderlesschain", "bidl", "synchotstuff"),
+        app,
+        rates,
+        num_orgs=16,
+        duration=duration,
+        scale=scale,
+        seed=seed,
+        jobs=jobs,
+    )
 
 
 # -- E13, Table 3: transaction processing time breakdown -----------------------------
 
 
 def table3_breakdown(
-    duration: float = 20.0, scale: Optional[float] = None, seed: int = 0
+    duration: float = 20.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Phase means per system at the paper's operating points.
 
     OrderlessChain and Fabric at 2500 tps voting (8 orgs, EP {4 of 8});
     BIDL and Sync HotStuff at 4000 tps voting (16 orgs).
     """
-    rows: Dict[str, Dict[str, float]] = {}
-    for system, rate, num_orgs in (
+    points = (
         ("orderlesschain", 2500, 8),
         ("fabric", 2500, 8),
         ("bidl", 4000, 16),
         ("synchotstuff", 4000, 16),
-    ):
-        config = ExperimentConfig(
+    )
+    configs = [
+        ExperimentConfig(
             system=system,
             app="voting",
             num_orgs=num_orgs,
@@ -410,22 +461,29 @@ def table3_breakdown(
             arrival_rate=rate,
             **_base(duration, scale, seed),
         )
-        result = run_experiment(config)
-        rows[system] = result.phase_means_ms
-    return rows
+        for system, rate, num_orgs in points
+    ]
+    results = expect_results(run_sweep(configs, jobs=jobs))
+    return {
+        system: result.phase_means_ms
+        for (system, _, _), result in zip(points, results)
+    }
 
 
 def resource_utilization_comparison(
-    duration: float = 15.0, scale: Optional[float] = None, seed: int = 0
+    duration: float = 15.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Section 9's resource-utilization observation: at 2500 tps voting,
     OrderlessChain organizations run at higher CPU utilization than
     Fabric organizations (the paper reports ~50 % vs ~30 %), because of
     applying CRDT operations to the cache — and the extra utilization
     is bounded by the cache lock's serialization."""
-    utilizations: Dict[str, float] = {}
-    for system in ("orderlesschain", "fabric"):
-        config = ExperimentConfig(
+    systems = ("orderlesschain", "fabric")
+    configs = [
+        ExperimentConfig(
             system=system,
             app="voting",
             num_orgs=8,
@@ -433,35 +491,47 @@ def resource_utilization_comparison(
             arrival_rate=2500,
             **_base(duration, scale, seed),
         )
-        result = run_experiment(config)
-        utilizations[system] = result.extra.get("mean_org_cpu_utilization", 0.0)
-    return utilizations
+        for system in systems
+    ]
+    results = expect_results(run_sweep(configs, jobs=jobs))
+    return {
+        system: result.extra.get("mean_org_cpu_utilization", 0.0)
+        for system, result in zip(systems, results)
+    }
 
 
 # -- E15, ablations of DESIGN.md's design choices ---------------------------------------
 
 
 def ablation_cache(
-    duration: float = 15.0, scale: Optional[float] = None, seed: int = 0
+    duration: float = 15.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """CRDT value cache on vs off (reads replay the operation log)."""
-    results = []
-    for label, enabled in (("cache on", True), ("cache off", False)):
-        config = ExperimentConfig(
+    labeled = (("cache on", True), ("cache off", False))
+    configs = [
+        ExperimentConfig(
             system="orderlesschain",
             app="synthetic",
             cache_enabled=enabled,
             **_base(duration, scale, seed),
         )
-        results.append((label, run_experiment(config)))
-    return results
+        for _, enabled in labeled
+    ]
+    return _sweep([label for label, _ in labeled], configs, jobs)
 
 
 def ablation_fabric_orderer(
     duration: float = 15.0, scale: Optional[float] = None, seed: int = 0
 ) -> SweepResult:
     """Solo vs Raft ordering service for Fabric (Raft adds a WAN round
-    trip of follower replication per block; neither is BFT)."""
+    trip of follower replication per block; neither is BFT).
+
+    Builds its networks by hand (the orderer type is not an
+    :class:`ExperimentConfig` field), so it runs serially.
+    """
     from repro.baselines.fabric import FabricNetwork, FabricSettings
     from repro.bench.metrics import compute_result
     from repro.bench.runner import _baseline_submit, _drive
@@ -512,23 +582,20 @@ def ablation_gossip_interval(
     duration: float = 15.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Gossip period sweep (the paper fixes it at 1 s)."""
     intervals = intervals or [0.5, 1.0, 2.0, 5.0]
-    return [
-        (
-            interval,
-            run_experiment(
-                ExperimentConfig(
-                    system="orderlesschain",
-                    app="synthetic",
-                    gossip_interval=interval,
-                    **_base(duration, scale, seed),
-                )
-            ),
+    configs = [
+        ExperimentConfig(
+            system="orderlesschain",
+            app="synthetic",
+            gossip_interval=interval,
+            **_base(duration, scale, seed),
         )
         for interval in intervals
     ]
+    return _sweep(intervals, configs, jobs)
 
 
 __all__ = [

@@ -1,0 +1,395 @@
+"""Microbenchmark harness for the simulator's hot paths.
+
+``run_perfbench()`` times a fixed set of single-process workloads and
+returns one record per workload; ``merge_report`` folds the records
+into ``BENCH_perf.json`` so the repository carries a perf trajectory
+across PRs. The first run against a fresh file records itself as the
+*baseline*; later runs update ``current`` and report
+``speedup_vs_baseline`` per workload, so a regression (or a win) is a
+one-line diff.
+
+The workloads:
+
+* ``orderless/events`` — the headline number: a sign/verify-heavy
+  OrderlessChain run ({8 of 16} endorsement policy, 100 % modify
+  transactions), measured in simulator events per wall second.
+* ``sim/events`` — the bare event loop: timer chains and fan-out
+  callbacks with no protocol work.
+* ``crypto/canonical_fresh`` / ``crypto/canonical_repeat`` —
+  canonical serialization of a transaction-shaped payload, with a
+  fresh object per call vs the same object re-serialized (the case the
+  canonical-bytes cache accelerates).
+* ``crypto/verify_repeat`` / ``crypto/verify_fresh`` — signature
+  verification of one payload many times (same object, then
+  content-equal copies), the shape commit validation produces when one
+  transaction is verified at every organization.
+* ``net/send`` — the simulated network's per-message path.
+
+Every workload is deterministic (fixed seeds, fixed sizes); only the
+wall-clock measurements vary between machines. Use ``smoke=True`` for
+a sub-second functional pass (the ``perf_smoke`` tier-1 test) — smoke
+numbers are too noisy to compare and are never written to the report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable, Dict, Optional
+
+DEFAULT_REPORT_PATH = "BENCH_perf.json"
+SCHEMA_VERSION = 1
+
+
+def _timed(work: Callable[[], int]) -> Dict[str, Any]:
+    """Run ``work`` (returns its unit count) and report units/sec."""
+    started = time.perf_counter()
+    units = work()
+    wall = time.perf_counter() - started
+    return {
+        "work_units": units,
+        "wall_s": round(wall, 6),
+        "per_sec": round(units / wall, 2) if wall > 0 else float("inf"),
+    }
+
+
+# -- workloads ---------------------------------------------------------------
+
+
+def _sample_transaction_wire(op_count: int = 8) -> Dict[str, Any]:
+    """A transaction-shaped payload (the dominant serialization input)."""
+    write_set = [
+        {
+            "object_id": f"obj{index}",
+            "key": f"k{index}",
+            "value_type": "gcounter",
+            "value": index + 1,
+            "op_id": f"client0#{index}#0",
+            "clock": {"client_id": "client0", "counter": index + 1},
+        }
+        for index in range(op_count)
+    ]
+    return {
+        "proposal": {
+            "client_id": "client0",
+            "contract_id": "synthetic",
+            "function": "apply",
+            "params": {"objects": op_count},
+            "clock": {"client_id": "client0", "counter": 1},
+        },
+        "write_set": write_set,
+        "endorsements": [
+            {
+                "org_id": f"org{index}",
+                "proposal_id": "client0:1",
+                "write_set": write_set,
+                "signature": "ab" * 32,
+            }
+            for index in range(4)
+        ],
+        "client_signature": "cd" * 32,
+    }
+
+
+def bench_sim_events(events: int = 200_000) -> Dict[str, Any]:
+    """Bare event-loop throughput: schedule-and-run trivial callbacks."""
+    from repro.sim.core import Simulator
+
+    sim = Simulator()
+
+    def tick() -> None:
+        if sim.processed_events < events:
+            sim.schedule(0.001, tick)
+
+    # Seed a small fan-out so the heap stays non-trivially sized.
+    for _ in range(32):
+        sim.schedule(0.0, tick)
+
+    def work() -> int:
+        sim.run()
+        return sim.processed_events
+
+    return _timed(work)
+
+
+def bench_canonical_fresh(iterations: int = 2_000) -> Dict[str, Any]:
+    """Serialize a *fresh* transaction payload every iteration."""
+    from repro.crypto.hashing import canonical_bytes
+
+    def work() -> int:
+        for _ in range(iterations):
+            canonical_bytes(_sample_transaction_wire())
+        return iterations
+
+    return _timed(work)
+
+
+def bench_canonical_repeat(iterations: int = 20_000) -> Dict[str, Any]:
+    """Re-serialize the *same* payload object (cacheable case)."""
+    from repro.crypto.hashing import canonical_bytes
+
+    payload = _sample_transaction_wire()
+
+    def work() -> int:
+        for _ in range(iterations):
+            canonical_bytes(payload)
+        return iterations
+
+    return _timed(work)
+
+
+def bench_verify_repeat(iterations: int = 20_000) -> Dict[str, Any]:
+    """Verify one signature over one payload object many times."""
+    from repro.crypto.identity import CertificateAuthority
+
+    ca = CertificateAuthority()
+    identity = ca.enroll("org0", "organization", seed=b"org0")
+    payload = {"transaction_id": "client0:1", "digest": "ab" * 32}
+    signature = identity.sign(payload)
+
+    def work() -> int:
+        for _ in range(iterations):
+            assert ca.verify("org0", payload, signature)
+        return iterations
+
+    return _timed(work)
+
+
+def bench_verify_fresh(iterations: int = 10_000) -> Dict[str, Any]:
+    """Verify one signature against content-equal payload copies.
+
+    This is the cross-organization shape: each organization rebuilds
+    the signed payload from the wire form, so the objects differ but
+    the canonical bytes agree.
+    """
+    from repro.crypto.identity import CertificateAuthority
+
+    ca = CertificateAuthority()
+    identity = ca.enroll("org0", "organization", seed=b"org0")
+    signature = identity.sign({"transaction_id": "client0:1", "digest": "ab" * 32})
+
+    def work() -> int:
+        for _ in range(iterations):
+            payload = {"transaction_id": "client0:1", "digest": "ab" * 32}
+            assert ca.verify("org0", payload, signature)
+        return iterations
+
+    return _timed(work)
+
+
+def bench_net_send(messages: int = 50_000) -> Dict[str, Any]:
+    """Per-message network path: send, sample delay, deliver."""
+    import random
+
+    from repro.net.message import Message
+    from repro.net.network import Network
+    from repro.sim.core import Simulator
+
+    sim = Simulator()
+    network = Network(sim, random.Random(7))
+    received = [0]
+    for index in range(8):
+        network.register(f"node{index}", lambda _msg: received.__setitem__(0, received[0] + 1))
+
+    def work() -> int:
+        for index in range(messages):
+            network.send(
+                Message(
+                    sender=f"node{index % 8}",
+                    recipient=f"node{(index + 1) % 8}",
+                    msg_type="bench",
+                    body={"seq": index},
+                )
+            )
+        sim.run()
+        return received[0]
+
+    return _timed(work)
+
+
+def bench_orderless_events(duration: float = 6.0, smoke: bool = False) -> Dict[str, Any]:
+    """The headline workload: a sign/verify-heavy OrderlessChain run.
+
+    {8 of 16} endorsement policy and 100 % modify transactions maximize
+    the signatures created and verified per committed transaction; the
+    metric is simulator events per wall second.
+    """
+    from repro.bench.config import ExperimentConfig
+    from repro.bench.workload import make_workload
+    from repro.core.client import ClientConfig
+    from repro.core.system import OrderlessChainNetwork, OrderlessChainSettings
+
+    config = ExperimentConfig(
+        system="orderlesschain",
+        app="synthetic",
+        arrival_rate=1500.0 if smoke else 4000.0,
+        num_orgs=16,
+        quorum=8,
+        obj_count=4,
+        modify_ratio=1.0,
+        duration=duration,
+        scale=20.0,
+        seed=0,
+    )
+    workload = make_workload(config)
+    settings = OrderlessChainSettings(
+        num_orgs=config.num_orgs,
+        quorum=config.quorum,
+        seed=config.seed,
+        perf=config.perf(),
+        client_config=ClientConfig(),
+    )
+    net = OrderlessChainNetwork(settings)
+    from repro.contracts.synthetic import SyntheticContract
+
+    net.install_contract(SyntheticContract)
+    for _ in range(config.effective_clients):
+        net.add_client()
+    workload_rng = net.rng.stream("workload")
+    clients = net.clients
+    interval = 1.0 / config.effective_rate
+
+    def driver():
+        index = 0
+        while net.sim.now < config.duration:
+            client = clients[index % len(clients)]
+            contract_id, function, params = workload.orderless_modify(
+                workload_rng, client.client_id
+            )
+            net.sim.process(client.submit_modify(contract_id, function, params))
+            index += 1
+            yield net.sim.timeout(interval)
+
+    net.start()
+    net.sim.process(driver(), name="perfbench-driver")
+
+    def work() -> int:
+        net.run(until=config.duration + config.drain)
+        return net.sim.processed_events
+
+    record = _timed(work)
+    record["committed_txns"] = sum(client.committed for client in clients)
+    return record
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def run_perfbench(smoke: bool = False) -> Dict[str, Any]:
+    """Run every workload and return {workload name: record}.
+
+    ``smoke=True`` shrinks every workload to a sub-second functional
+    pass — it checks the harness end to end but its numbers are noise.
+    """
+    shrink = 50 if smoke else 1
+    results = {
+        "sim/events": bench_sim_events(events=200_000 // shrink),
+        "crypto/canonical_fresh": bench_canonical_fresh(iterations=2_000 // shrink),
+        "crypto/canonical_repeat": bench_canonical_repeat(iterations=20_000 // shrink),
+        "crypto/verify_repeat": bench_verify_repeat(iterations=20_000 // shrink),
+        "crypto/verify_fresh": bench_verify_fresh(iterations=10_000 // shrink),
+        "net/send": bench_net_send(messages=50_000 // shrink),
+        "orderless/events": bench_orderless_events(
+            duration=0.8 if smoke else 6.0, smoke=smoke
+        ),
+    }
+    for record in results.values():
+        assert record["work_units"] > 0
+    return results
+
+
+def environment_info() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def merge_report(
+    results: Dict[str, Any],
+    path: str = DEFAULT_REPORT_PATH,
+    rebaseline: bool = False,
+) -> Dict[str, Any]:
+    """Fold ``results`` into the perf report at ``path`` and write it.
+
+    The first run (or ``rebaseline=True``) records itself as the
+    baseline; afterwards the baseline is preserved so later runs
+    measure against the same fixed point.
+    """
+    current = {"environment": environment_info(), "results": results}
+    existing: Dict[str, Any] = {}
+    if not rebaseline and os.path.exists(path):
+        with open(path) as handle:
+            existing = json.load(handle)
+    baseline = existing.get("baseline") or current
+    speedups = {}
+    for name, record in results.items():
+        base = baseline.get("results", {}).get(name)
+        if base and base.get("per_sec"):
+            speedups[name] = round(record["per_sec"] / base["per_sec"], 3)
+    report = {
+        "schema": SCHEMA_VERSION,
+        "baseline": baseline,
+        "current": current,
+        "speedup_vs_baseline": speedups,
+    }
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """A readable per-workload table of the merged report."""
+    lines = [f"{'workload':<28} {'per_sec':>14} {'vs baseline':>12}"]
+    for name, record in sorted(report["current"]["results"].items()):
+        speedup = report["speedup_vs_baseline"].get(name)
+        lines.append(
+            f"{name:<28} {record['per_sec']:>14,.0f} "
+            f"{(f'{speedup:.2f}x' if speedup else '-'):>12}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="repro perf microbenchmarks")
+    parser.add_argument("--out", default=DEFAULT_REPORT_PATH, help="report path")
+    parser.add_argument(
+        "--smoke", action="store_true", help="fast functional pass; no report written"
+    )
+    parser.add_argument(
+        "--rebaseline", action="store_true", help="record this run as the new baseline"
+    )
+    args = parser.parse_args(argv)
+    results = run_perfbench(smoke=args.smoke)
+    if args.smoke:
+        print("perf smoke pass OK:")
+        for name, record in sorted(results.items()):
+            print(f"  {name:<28} {record['work_units']} units in {record['wall_s']:.3f}s")
+        return 0
+    report = merge_report(results, path=args.out, rebaseline=args.rebaseline)
+    print(format_report(report))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+__all__ = [
+    "DEFAULT_REPORT_PATH",
+    "bench_canonical_fresh",
+    "bench_canonical_repeat",
+    "bench_net_send",
+    "bench_orderless_events",
+    "bench_sim_events",
+    "bench_verify_fresh",
+    "bench_verify_repeat",
+    "environment_info",
+    "format_report",
+    "main",
+    "merge_report",
+    "run_perfbench",
+]

@@ -31,7 +31,7 @@ from repro.bench.reporting import (
 
 def _run_fig6a(args):
     results = experiments.fig6a_arrival_rate(
-        duration=args.duration, scale=args.scale, seed=args.seed
+        duration=args.duration, scale=args.scale, seed=args.seed, jobs=args.jobs
     )
     return (
         format_sweep("Figure 6(a): transaction arrival rate", "rate", results),
@@ -41,7 +41,7 @@ def _run_fig6a(args):
 
 def _run_fig6b(args):
     results = experiments.fig6b_organizations(
-        duration=args.duration, scale=args.scale, seed=args.seed
+        duration=args.duration, scale=args.scale, seed=args.seed, jobs=args.jobs
     )
     return (
         format_sweep("Figure 6(b): number of organizations", "orgs", results),
@@ -51,7 +51,7 @@ def _run_fig6b(args):
 
 def _run_fig6c(args):
     results = experiments.fig6c_endorsement_policy(
-        duration=args.duration, scale=args.scale, seed=args.seed
+        duration=args.duration, scale=args.scale, seed=args.seed, jobs=args.jobs
     )
     return (
         format_sweep("Figure 6(c): endorsement policy", "EP", results),
@@ -61,7 +61,7 @@ def _run_fig6c(args):
 
 def _run_fig6d(args):
     results = experiments.fig6d_object_count(
-        duration=args.duration, scale=args.scale, seed=args.seed
+        duration=args.duration, scale=args.scale, seed=args.seed, jobs=args.jobs
     )
     return (
         format_sweep("Figure 6(d): objects per transaction", "objects", results),
@@ -71,7 +71,7 @@ def _run_fig6d(args):
 
 def _run_fig7(args):
     series = experiments.fig7_latency_vs_throughput(
-        duration=args.duration, scale=args.scale, seed=args.seed
+        duration=args.duration, scale=args.scale, seed=args.seed, jobs=args.jobs
     )
     return (
         format_comparison("Figure 7: latency vs throughput", "rate", series),
@@ -101,7 +101,7 @@ def _run_fig8b(args):
 
 def _run_fig9(args):
     series = experiments.fig9_comparison(
-        args.app, duration=args.duration, scale=args.scale, seed=args.seed
+        args.app, duration=args.duration, scale=args.scale, seed=args.seed, jobs=args.jobs
     )
     return (
         format_comparison(f"Figure 9: {args.app} vs Fabric/FabricCRDT", "rate", series),
@@ -111,7 +111,7 @@ def _run_fig9(args):
 
 def _run_fig10(args):
     series = experiments.fig10_comparison(
-        args.app, duration=args.duration, scale=args.scale, seed=args.seed
+        args.app, duration=args.duration, scale=args.scale, seed=args.seed, jobs=args.jobs
     )
     return (
         format_comparison(f"Figure 10: {args.app} vs BIDL/Sync HotStuff", "rate", series),
@@ -120,7 +120,9 @@ def _run_fig10(args):
 
 
 def _run_table3(args):
-    rows = experiments.table3_breakdown(duration=args.duration, scale=args.scale, seed=args.seed)
+    rows = experiments.table3_breakdown(
+        duration=args.duration, scale=args.scale, seed=args.seed, jobs=args.jobs
+    )
     text = "\n\n".join(
         format_breakdown(f"Table 3 - {system}", phases) for system, phases in rows.items()
     )
@@ -155,6 +157,39 @@ def _cmd_run(args) -> int:
     if args.output:
         export.to_json(payload, path=args.output)
         print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Run a batch of experiments, each sweep fanned over worker processes.
+
+    ``--jobs N`` parallelizes *within* each experiment's sweep via
+    :mod:`repro.bench.parallel`; experiments themselves run one after
+    another so their reports print in a stable order. Results are
+    identical for any job count (docs/PERFORMANCE.md).
+    """
+    import os
+
+    names = args.experiments or sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(EXPERIMENTS))})",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        _, runner = EXPERIMENTS[name]
+        print(f"== {name} (jobs={args.jobs}) ==")
+        text, payload = runner(args)
+        print(text)
+        if args.output_dir:
+            os.makedirs(args.output_dir, exist_ok=True)
+            path = os.path.join(args.output_dir, f"{name}.json")
+            export.to_json(payload, path=path)
+            print(f"wrote {path}")
+        print()
     return 0
 
 
@@ -274,8 +309,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--duration", type=float, default=15.0, help="simulated seconds per run")
     run.add_argument("--scale", type=float, default=None, help="scale-down factor (default: env)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: REPRO_BENCH_JOBS or 1)",
+    )
     run.add_argument("--output", default=None, help="write the figure data as JSON")
     run.set_defaults(func=_cmd_run)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run a batch of experiments with parallel sweeps",
+    )
+    bench.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help=f"experiments to run (default: all of {', '.join(sorted(EXPERIMENTS))})",
+    )
+    bench.add_argument("--app", choices=["voting", "auction"], default="voting")
+    bench.add_argument("--duration", type=float, default=15.0, help="simulated seconds per run")
+    bench.add_argument("--scale", type=float, default=None, help="scale-down factor (default: env)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per sweep (default: REPRO_BENCH_JOBS or 1)",
+    )
+    bench.add_argument("--output-dir", default=None, help="write each experiment's data as JSON here")
+    bench.set_defaults(func=_cmd_bench)
 
     trace = subparsers.add_parser(
         "trace",

@@ -97,21 +97,35 @@ class Endorsement:
         )
 
     def to_wire(self) -> Dict[str, Any]:
-        return {
-            "org_id": self.org_id,
-            "proposal_id": self.proposal_id,
-            "write_set": self.write_set,
-            "signature": self.signature,
-        }
+        # Memoized: wire payloads are immutable by convention, so the
+        # same dict can be handed out every time — which also lets the
+        # canonical-bytes fragment cache serve repeat serializations.
+        wire = self.__dict__.get("_wire_cache")
+        if wire is None:
+            wire = {
+                "org_id": self.org_id,
+                "proposal_id": self.proposal_id,
+                "write_set": self.write_set,
+                "signature": self.signature,
+            }
+            object.__setattr__(self, "_wire_cache", wire)
+        return wire
 
     @classmethod
     def from_wire(cls, wire: Mapping[str, Any]) -> "Endorsement":
-        return cls(
+        # The wire write-set is shared, not copied: wire payloads are
+        # immutable by convention (tamper paths build new lists), and
+        # sharing lets the canonical-bytes fragment cache serve every
+        # later digest of this write-set from one serialization.
+        endorsement = cls(
             org_id=wire["org_id"],
             proposal_id=wire["proposal_id"],
-            write_set=[dict(op) for op in wire["write_set"]],
+            write_set=wire["write_set"],
             signature=wire["signature"],
         )
+        if type(wire) is dict:
+            object.__setattr__(endorsement, "_wire_cache", wire)
+        return endorsement
 
 
 @dataclass(frozen=True)
@@ -169,21 +183,35 @@ class Transaction:
         return [Operation.from_wire(wire) for wire in self.write_set]
 
     def to_wire(self) -> Dict[str, Any]:
-        return {
-            "proposal": self.proposal.to_wire(),
-            "write_set": self.write_set,
-            "endorsements": [e.to_wire() for e in self.endorsements],
-            "client_signature": self.client_signature,
-        }
+        # Memoized (and pre-seeded by from_wire): one transaction's wire
+        # form is serialized for the client signature, gossiped to every
+        # organization, and embedded in every block that logs it — the
+        # shared dict turns all of those into fragment-cache hits.
+        wire = self.__dict__.get("_wire_cache")
+        if wire is None:
+            wire = {
+                "proposal": self.proposal.to_wire(),
+                "write_set": self.write_set,
+                "endorsements": [e.to_wire() for e in self.endorsements],
+                "client_signature": self.client_signature,
+            }
+            object.__setattr__(self, "_wire_cache", wire)
+        return wire
 
     @classmethod
     def from_wire(cls, wire: Mapping[str, Any]) -> "Transaction":
-        return cls(
+        # Shared, not copied — same immutable-wire convention as
+        # Endorsement.from_wire, so the digest of this write-set is
+        # computed from one cached serialization network-wide.
+        transaction = cls(
             proposal=Proposal.from_wire(wire["proposal"]),
-            write_set=[dict(op) for op in wire["write_set"]],
+            write_set=wire["write_set"],
             endorsements=tuple(Endorsement.from_wire(e) for e in wire["endorsements"]),
             client_signature=wire["client_signature"],
         )
+        if type(wire) is dict:
+            object.__setattr__(transaction, "_wire_cache", wire)
+        return transaction
 
     def wire_size(self) -> int:
         """Approximate serialized size in bytes (drives link delay)."""

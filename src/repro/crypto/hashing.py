@@ -5,23 +5,58 @@ byte encoding of the payload, so that two nodes computing the hash of
 the same logical content always agree. The encoding is deterministic
 JSON (sorted keys, no whitespace) with a small extension for bytes and
 tuples, which covers every message type in the protocol.
+
+Fragment cache
+--------------
+
+Serialization dominates the simulator's hot path: one transaction's
+write-set is re-serialized for the client signature, for every
+endorsement signature, at every organization that validates the
+transaction, and again for every block hash that embeds it. Because the
+whole simulation shares one process, those call sites frequently pass
+the *same* container objects, so :func:`canonical_bytes` memoizes the
+encoded fragment of every dict/list/tuple node it walks, keyed by
+object identity. A cache entry keeps a strong reference to its node,
+which pins the object and makes identity-key reuse impossible while the
+entry lives; when the cache fills up it is cleared wholesale (epoch
+eviction) and simply re-serializes on the next pass.
+
+The cache relies on the codebase-wide convention that wire-form
+payloads are immutable once built: every tamper path (Byzantine
+clients and organizations, the hash-chain ``tamper`` helper, tests)
+constructs *new* dicts/lists rather than mutating ones that may
+already have been hashed. Mutating a hashed container and re-hashing
+it is not supported — call :func:`hashing_cache_clear` first if you
+must (e.g. in a REPL experiment).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any
+from json.encoder import encode_basestring_ascii as _escape_str
+from typing import Any, Dict
 
 GENESIS_HASH = "0" * 64
 """The hash-chain predecessor of the first block."""
+
+_scalar_dumps = json.dumps
+
+# id(node) -> (node, fragment). The strong reference to ``node`` keeps
+# its id from being reused while the entry exists.
+_FRAGMENT_CACHE_MAX = 16384
+_fragment_cache: Dict[int, tuple] = {}
+_cache_hits = 0
+_cache_misses = 0
 
 
 def _encode(value: Any) -> Any:
     """Convert ``value`` into JSON-encodable canonical form.
 
-    Key order need not be normalized here: the final ``json.dumps``
-    uses ``sort_keys=True``, which canonicalizes dictionaries.
+    Key order need not be normalized here: dictionaries are sorted when
+    the fragment is rendered. Kept for callers that want the
+    intermediate form; :func:`canonical_bytes` renders fragments
+    directly.
     """
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
@@ -36,9 +71,67 @@ def _encode(value: Any) -> Any:
     raise TypeError(f"cannot canonically encode {type(value).__name__}")
 
 
+def _fragment(value: Any) -> str:
+    """Canonical JSON fragment of ``value`` (cached for containers).
+
+    Byte-identical to ``json.dumps(_encode(value), sort_keys=True,
+    separators=(",", ":"))`` — pinned by tests/crypto/test_hashing.py.
+    """
+    global _cache_hits, _cache_misses
+    # Exact-type scalar fast paths (the bulk of all calls) render
+    # without json.dumps; each is byte-identical to what dumps emits.
+    # Scalar subclasses and floats (repr subtleties, NaN/Infinity)
+    # fall through to json.dumps itself.
+    cls = value.__class__
+    if cls is str:
+        return _escape_str(value)
+    if cls is bool:
+        return "true" if value else "false"
+    if cls is int:
+        return repr(value)
+    if value is None:
+        return "null"
+    if isinstance(value, (str, int, float)):
+        return _scalar_dumps(value)
+    if isinstance(value, (dict, list, tuple)):
+        key = id(value)
+        cached = _fragment_cache.get(key)
+        if cached is not None and cached[0] is value:
+            _cache_hits += 1
+            return cached[1]
+        _cache_misses += 1
+        if isinstance(value, dict):
+            # str(key) first (duplicates collapse, last one wins, as in
+            # the dict comprehension of _encode), then sort. All-str
+            # keys — the wire convention — skip the normalization pass.
+            if all(type(k) is str for k in value):
+                normalized = value
+            else:
+                normalized = {str(k): v for k, v in value.items()}
+            fragment = (
+                "{"
+                + ",".join(
+                    f"{_escape_str(k)}:{_fragment(v)}"
+                    for k, v in sorted(normalized.items(), key=lambda kv: kv[0])
+                )
+                + "}"
+            )
+        else:
+            fragment = "[" + ",".join(_fragment(item) for item in value) + "]"
+        if len(_fragment_cache) >= _FRAGMENT_CACHE_MAX:
+            _fragment_cache.clear()
+        _fragment_cache[key] = (value, fragment)
+        return fragment
+    if isinstance(value, bytes):
+        return '{"__bytes__":' + _scalar_dumps(value.hex()) + "}"
+    if hasattr(value, "to_wire"):
+        return _fragment(value.to_wire())
+    raise TypeError(f"cannot canonically encode {type(value).__name__}")
+
+
 def canonical_bytes(value: Any) -> bytes:
     """Deterministic byte encoding of ``value``."""
-    return json.dumps(_encode(value), sort_keys=True, separators=(",", ":")).encode()
+    return _fragment(value).encode()
 
 
 def sha256_hex(value: Any) -> str:
@@ -48,7 +141,32 @@ def sha256_hex(value: Any) -> str:
 
 def chain_hash(previous_hash: str, payload: Any) -> str:
     """Hash-chain link: hash of (previous hash, payload)."""
-    return sha256_hex({"prev": previous_hash, "payload": _encode(payload)})
+    return sha256_hex({"prev": previous_hash, "payload": payload})
 
 
-__all__ = ["GENESIS_HASH", "canonical_bytes", "sha256_hex", "chain_hash"]
+def hashing_cache_info() -> Dict[str, int]:
+    """Hit/miss counters and occupancy of the fragment cache."""
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "size": len(_fragment_cache),
+        "max_size": _FRAGMENT_CACHE_MAX,
+    }
+
+
+def hashing_cache_clear() -> None:
+    """Drop every cached fragment and reset the counters."""
+    global _cache_hits, _cache_misses
+    _fragment_cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+__all__ = [
+    "GENESIS_HASH",
+    "canonical_bytes",
+    "sha256_hex",
+    "chain_hash",
+    "hashing_cache_clear",
+    "hashing_cache_info",
+]

@@ -64,10 +64,20 @@ class CertificateAuthority:
     verification, and revocation.
     """
 
+    #: Upper bound on memoized verification outcomes per CA instance.
+    VERIFY_CACHE_MAX = 65536
+
     def __init__(self, scheme: str = "simulated") -> None:
         self.scheme = scheme
         self._certificates: Dict[str, Certificate] = {}
         self._revoked: set[str] = set()
+        # (signer, canonical payload bytes, signature) -> bool. The key
+        # is content-addressed, so a forged or tampered signature (or
+        # payload) can never alias a cached valid outcome; revocation is
+        # checked before the cache so revoking takes effect immediately.
+        self._verify_cache: Dict[tuple, bool] = {}
+        self.verify_cache_hits = 0
+        self.verify_cache_misses = 0
 
     def enroll(self, identifier: str, role: str, seed: Optional[bytes] = None) -> Identity:
         """Issue a new identity; identifiers must be unique."""
@@ -106,7 +116,18 @@ class CertificateAuthority:
         certificate = self._certificates.get(identifier)
         if certificate is None or identifier in self._revoked:
             return False
-        return verify_signature(certificate.scheme, certificate.public_key, canonical_bytes(payload), signature)
+        message = canonical_bytes(payload)
+        key = (identifier, message, signature)
+        cached = self._verify_cache.get(key)
+        if cached is not None:
+            self.verify_cache_hits += 1
+            return cached
+        self.verify_cache_misses += 1
+        result = verify_signature(certificate.scheme, certificate.public_key, message, signature)
+        if len(self._verify_cache) >= self.VERIFY_CACHE_MAX:
+            self._verify_cache.clear()
+        self._verify_cache[key] = result
+        return result
 
     def require_valid(self, identifier: str, payload: Any, signature: str) -> None:
         """Raise :class:`InvalidSignatureError` unless ``verify`` passes."""

@@ -39,3 +39,7 @@ class TransactionError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment or network configuration is invalid."""
+
+
+class SweepError(ReproError):
+    """One or more points of a benchmark sweep failed to run."""

@@ -9,7 +9,7 @@ from typing import Any
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A message in flight between two nodes.
 

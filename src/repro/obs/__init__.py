@@ -80,6 +80,19 @@ class Observability:
             self.sampler = NodeSampler(sim, self.recorder, self.sample_interval)
         return self.sampler
 
+    def detach(self) -> "Observability":
+        """Disconnect from the simulation, keeping the collected data.
+
+        The sampler holds references to the simulator and its networks
+        (including live generator objects), which cannot cross a
+        process boundary; dropping it makes the bundle picklable so a
+        parallel sweep worker can ship results back to the parent. The
+        trace collector — all recorded spans, instants, and samples —
+        is untouched.
+        """
+        self.sampler = None
+        return self
+
 
 __all__ = [
     "Instant",

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """One closed interval of simulated time."""
 
@@ -38,7 +38,7 @@ class Span:
         return self.start <= other.start and other.end <= self.end
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instant:
     """One point event."""
 
@@ -49,7 +49,7 @@ class Instant:
     attrs: Dict[str, Any] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sample:
     """One gauge/counter reading."""
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import SimulationError
@@ -62,6 +63,9 @@ class Simulator:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._running = False
+        # Cumulative count of executed callbacks; the perf harness
+        # divides this by wall time to get events/sec.
+        self.processed_events = 0
 
     @property
     def now(self) -> float:
@@ -69,13 +73,27 @@ class Simulator:
         return self._now
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` after ``delay`` simulated seconds."""
+        """Run ``callback`` after ``delay`` simulated seconds.
+
+        ``delay`` must be finite and non-negative. A NaN or infinite
+        delay would silently corrupt the event heap's ordering (NaN
+        compares false against everything), so both are rejected here
+        rather than surfacing as a confusing mis-ordering later.
+        """
+        if not math.isfinite(delay):
+            raise ValueError(f"delay must be finite, got {delay!r}")
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         heapq.heappush(self._heap, (self._now + delay, next(self._seq), callback))
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute simulated time ``when``."""
+        """Run ``callback`` at absolute simulated time ``when``.
+
+        ``when`` must be finite and not in the past; NaN/infinity are
+        rejected for the same heap-ordering reason as in ``schedule``.
+        """
+        if not math.isfinite(when):
+            raise ValueError(f"scheduled time must be finite, got {when!r}")
         if when < self._now:
             raise ValueError(f"cannot schedule in the past (when={when}, now={self._now})")
         heapq.heappush(self._heap, (when, next(self._seq), callback))
@@ -108,16 +126,30 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        # The loop is the simulator's innermost hot path: heap and
+        # heappop are bound locally and the unbounded case pops
+        # directly (no peek). ``processed_events`` must advance before
+        # each callback runs — callbacks may read it live.
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                when, _, callback = self._heap[0]
-                if until is not None and when > until:
-                    break
-                heapq.heappop(self._heap)
-                self._now = when
-                callback()
-            if until is not None and until > self._now:
-                self._now = until
+            if until is None:
+                while heap:
+                    when, _, callback = heappop(heap)
+                    self._now = when
+                    self.processed_events += 1
+                    callback()
+            else:
+                while heap:
+                    when = heap[0][0]
+                    if when > until:
+                        break
+                    when, _, callback = heappop(heap)
+                    self._now = when
+                    self.processed_events += 1
+                    callback()
+                if until > self._now:
+                    self._now = until
         finally:
             self._running = False
 

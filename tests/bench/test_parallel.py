@@ -1,0 +1,142 @@
+"""The parallel sweep runner: ordering, equivalence, crash handling."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.export import result_to_record
+from repro.bench.metrics import ExperimentResult
+from repro.bench import parallel
+from repro.bench.parallel import SweepFailure, default_jobs, expect_results, run_sweep
+from repro.errors import SweepError
+from repro.obs.chrome import write_chrome_trace
+
+
+def _fig6a_configs(trace: bool = False):
+    """A small Figure-6(a)-style arrival-rate sweep."""
+    return [
+        ExperimentConfig(
+            system="orderlesschain",
+            app="synthetic",
+            arrival_rate=rate,
+            num_orgs=4,
+            quorum=2,
+            duration=1.5,
+            seed=11,
+            trace=trace,
+            sample_interval=0.5 if trace else 0.0,
+        )
+        for rate in (500, 1000, 1500, 2000)
+    ]
+
+
+def _records(results):
+    return json.dumps(
+        [result_to_record(result) for result in results], sort_keys=True, default=str
+    )
+
+
+def test_serial_and_parallel_sweeps_are_identical(tmp_path):
+    """jobs=1 and jobs=4 must produce byte-identical results and traces."""
+    serial = expect_results(run_sweep(_fig6a_configs(trace=True), jobs=1))
+    fanned = expect_results(run_sweep(_fig6a_configs(trace=True), jobs=4))
+    assert _records(serial) == _records(fanned)
+    for index, (a, b) in enumerate(zip(serial, fanned)):
+        path_a = tmp_path / f"serial_{index}.json"
+        path_b = tmp_path / f"parallel_{index}.json"
+        write_chrome_trace(a.observability.trace, str(path_a))
+        write_chrome_trace(b.observability.trace, str(path_b))
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+
+def test_results_come_back_in_submission_order():
+    configs = _fig6a_configs()
+    results = expect_results(run_sweep(configs, jobs=2))
+    assert [r.arrival_rate for r in results] == [c.arrival_rate for c in configs]
+    assert all(isinstance(r, ExperimentResult) for r in results)
+
+
+def test_parallel_results_are_detached_from_the_simulation():
+    """Traced results must cross the process boundary sampler-free."""
+    results = expect_results(run_sweep(_fig6a_configs(trace=True), jobs=2))
+    for result in results:
+        assert result.observability is not None
+        assert result.observability.sampler is None
+        assert result.observability.trace.spans
+
+
+def _real_point(config):
+    result = parallel.run_experiment(config)
+    if result.observability is not None:
+        result.observability.detach()
+    return result
+
+
+def _explode_point(config):
+    if config.arrival_rate == 1000:
+        raise RuntimeError("boom")
+    return _real_point(config)
+
+
+def _die_point(config):
+    if config.arrival_rate == 1000:
+        os._exit(13)
+    return _real_point(config)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_a_failing_point_does_not_abort_the_sweep(monkeypatch, jobs):
+    monkeypatch.setattr(parallel, "_run_point", _explode_point)
+    configs = _fig6a_configs()
+    outcomes = run_sweep(configs, jobs=jobs)
+    assert len(outcomes) == len(configs)
+    failures = [o for o in outcomes if isinstance(o, SweepFailure)]
+    assert len(failures) == 1
+    assert failures[0].index == 1
+    assert "boom" in failures[0].error
+    assert "RuntimeError" in failures[0].details
+    successes = [o for o in outcomes if isinstance(o, ExperimentResult)]
+    assert len(successes) == 3
+
+
+def test_a_dead_worker_is_reported_and_the_sweep_completes(monkeypatch):
+    """A hard worker death (os._exit) must not lose the whole sweep."""
+    monkeypatch.setattr(parallel, "_run_point", _die_point)
+    configs = _fig6a_configs()
+    outcomes = run_sweep(configs, jobs=2)
+    assert len(outcomes) == len(configs)
+    assert any(isinstance(o, SweepFailure) for o in outcomes)
+    # The non-crashing points must all have produced results (possibly
+    # via the retry round after the first pool broke).
+    for index in (0, 2, 3):
+        assert isinstance(outcomes[index], ExperimentResult), outcomes[index]
+
+
+def test_expect_results_raises_with_every_failure_listed(monkeypatch):
+    monkeypatch.setattr(parallel, "_run_point", _explode_point)
+    outcomes = run_sweep(_fig6a_configs(), jobs=1)
+    with pytest.raises(SweepError, match="1 of 4 sweep points failed"):
+        expect_results(outcomes)
+
+
+def test_default_jobs_reads_the_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "4")
+    assert default_jobs() == 4
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "many")
+    with pytest.raises(SweepError):
+        default_jobs()
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(SweepError):
+        run_sweep(_fig6a_configs()[:1], jobs=0)
+
+
+def test_empty_sweep_returns_empty():
+    assert run_sweep([], jobs=4) == []

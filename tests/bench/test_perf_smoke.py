@@ -1,0 +1,80 @@
+"""Fast functional check of the perf harness (``--smoke`` mode).
+
+Runs every perf workload at smoke scale and checks the report plumbing
+— workload coverage, schema, baseline bookkeeping. Deliberately no
+timing assertions: wall-clock performance is tracked by running
+``benchmarks/bench_perf.py`` directly (see docs/PERFORMANCE.md), not by
+the test suite, which must stay deterministic on loaded machines.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.perfbench import (
+    environment_info,
+    format_report,
+    merge_report,
+    run_perfbench,
+)
+
+pytestmark = pytest.mark.perf_smoke
+
+EXPECTED_WORKLOADS = {
+    "sim/events",
+    "crypto/canonical_fresh",
+    "crypto/canonical_repeat",
+    "crypto/verify_repeat",
+    "crypto/verify_fresh",
+    "net/send",
+    "orderless/events",
+}
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    return run_perfbench(smoke=True)
+
+
+def test_smoke_run_covers_every_workload(smoke_results):
+    assert set(smoke_results) == EXPECTED_WORKLOADS
+    for name, record in smoke_results.items():
+        assert record["work_units"] > 0, name
+        assert record["per_sec"] > 0, name
+        assert record["wall_s"] >= 0, name
+
+
+def test_environment_info_fields():
+    info = environment_info()
+    assert info["python"]
+    assert info["platform"]
+
+
+def test_merge_report_records_baseline_then_speedups(tmp_path, smoke_results):
+    path = tmp_path / "BENCH_perf.json"
+    first = merge_report(smoke_results, path=str(path))
+    # First write against a missing report: the run becomes the baseline.
+    assert first["baseline"]["results"] == first["current"]["results"]
+    on_disk = json.loads(path.read_text())
+    assert on_disk["schema"] == 1
+
+    # A later run keeps the original baseline and reports speedups.
+    faster = {
+        name: dict(record, per_sec=record["per_sec"] * 2.0)
+        for name, record in smoke_results.items()
+    }
+    second = merge_report(faster, path=str(path))
+    assert second["baseline"]["results"] == first["baseline"]["results"]
+    for name in EXPECTED_WORKLOADS:
+        assert second["speedup_vs_baseline"][name] == pytest.approx(2.0)
+
+    # Unless explicitly rebaselined.
+    third = merge_report(faster, path=str(path), rebaseline=True)
+    assert third["baseline"]["results"] == faster
+
+
+def test_format_report_is_printable(tmp_path, smoke_results):
+    report = merge_report(smoke_results, path=str(tmp_path / "r.json"))
+    text = format_report(report)
+    for name in EXPECTED_WORKLOADS:
+        assert name in text

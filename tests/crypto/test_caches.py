@@ -1,0 +1,129 @@
+"""The hot-path crypto caches: fragment memoization and verify cache.
+
+Both caches exist purely for speed; these tests pin the property that
+makes them safe — a cached answer is never wrong, in particular a
+forged or tampered signature can never be served from the cache as
+valid.
+"""
+
+import json
+
+import pytest
+
+from repro.crypto.hashing import (
+    _encode,
+    canonical_bytes,
+    hashing_cache_clear,
+    hashing_cache_info,
+)
+from repro.crypto.identity import CertificateAuthority
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fragment_cache():
+    hashing_cache_clear()
+    yield
+    hashing_cache_clear()
+
+
+class TestFragmentCache:
+    def test_repeat_encoding_hits_the_cache(self):
+        payload = {"write_set": [{"op": "inc", "value": 1}, {"op": "inc", "value": 2}]}
+        first = canonical_bytes(payload)
+        before = hashing_cache_info()
+        second = canonical_bytes(payload)
+        after = hashing_cache_info()
+        assert first == second
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_shared_inner_containers_hit_under_fresh_wrappers(self):
+        # The protocol re-wraps the same write-set list in fresh outer
+        # dicts (write_set_digest does exactly this); the inner list's
+        # fragment must still be served from cache.
+        write_set = [{"op": "inc", "value": index} for index in range(4)]
+        canonical_bytes({"write_set": write_set})
+        before = hashing_cache_info()
+        canonical_bytes({"write_set": write_set})  # fresh wrapper dict
+        after = hashing_cache_info()
+        assert after["hits"] > before["hits"]
+
+    def test_cached_encoding_matches_plain_json_dumps(self):
+        payload = {
+            "b": [1, 2.5, True, None, "x"],
+            "a": {"nested": (1, 2)},
+            1: "int-key",
+            "raw": b"\x00\xff",
+        }
+        expected = json.dumps(
+            _encode(payload), sort_keys=True, separators=(",", ":")
+        ).encode()
+        assert canonical_bytes(payload) == expected
+        assert canonical_bytes(payload) == expected  # cache-hit path too
+
+    def test_clear_resets_counters_and_entries(self):
+        canonical_bytes({"k": [1, 2, 3]})
+        hashing_cache_clear()
+        info = hashing_cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0, "max_size": info["max_size"]}
+
+
+class TestVerifyCache:
+    def _ca_and_identity(self):
+        ca = CertificateAuthority()
+        identity = ca.enroll("org1", "organization", seed=b"org1-seed")
+        return ca, identity
+
+    def test_repeat_verification_is_cached(self):
+        ca, identity = self._ca_and_identity()
+        payload = {"digest": "abc", "proposal_id": "c0:1"}
+        signature = identity.sign(payload)
+        assert ca.verify("org1", payload, signature)
+        assert ca.verify_cache_misses == 1
+        assert ca.verify("org1", payload, signature)
+        assert ca.verify_cache_hits == 1
+        assert ca.verify_cache_misses == 1
+
+    def test_forged_signature_is_never_served_as_valid(self):
+        ca, identity = self._ca_and_identity()
+        payload = {"digest": "abc", "proposal_id": "c0:1"}
+        signature = identity.sign(payload)
+        assert ca.verify("org1", payload, signature)  # warm the cache
+        forged = signature[:-1] + ("0" if signature[-1] != "0" else "1")
+        assert not ca.verify("org1", payload, forged)
+        # The forged outcome is cached too — still as invalid.
+        assert not ca.verify("org1", payload, forged)
+
+    def test_tampered_payload_is_never_served_as_valid(self):
+        ca, identity = self._ca_and_identity()
+        payload = {"digest": "abc", "proposal_id": "c0:1"}
+        signature = identity.sign(payload)
+        assert ca.verify("org1", payload, signature)
+        assert not ca.verify("org1", {"digest": "abd", "proposal_id": "c0:1"}, signature)
+
+    def test_revocation_wins_over_a_cached_valid_outcome(self):
+        ca, identity = self._ca_and_identity()
+        payload = {"digest": "abc", "proposal_id": "c0:1"}
+        signature = identity.sign(payload)
+        assert ca.verify("org1", payload, signature)
+        ca.revoke("org1")
+        assert not ca.verify("org1", payload, signature)
+
+    def test_unknown_identity_is_not_cached(self):
+        ca, _ = self._ca_and_identity()
+        assert not ca.verify("ghost", {"x": 1}, "sig")
+        assert ca.verify_cache_misses == 0
+        assert ca.verify_cache_hits == 0
+
+    def test_cache_epoch_eviction(self):
+        ca, identity = self._ca_and_identity()
+        ca.VERIFY_CACHE_MAX = 4
+        signatures = []
+        for index in range(6):
+            payload = {"digest": str(index), "proposal_id": f"c0:{index}"}
+            signatures.append((payload, identity.sign(payload)))
+            assert ca.verify("org1", payload, signatures[-1][1])
+        assert len(ca._verify_cache) <= 4
+        # Evicted entries simply re-verify — still correct.
+        for payload, signature in signatures:
+            assert ca.verify("org1", payload, signature)

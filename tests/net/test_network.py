@@ -132,3 +132,43 @@ def test_link_override_is_undirected():
     network.send(Message(sender="a", recipient="b", msg_type="t", body=None, size_bytes=0))
     sim.run()
     assert arrivals["b"] == pytest.approx(0.002)
+
+
+def test_schedule_rejects_negative_infinity_delay_check():
+    # -inf fails the "cannot schedule in the past" check (see
+    # tests/sim/test_core.py for the full guard matrix); the network
+    # must therefore never produce non-finite delays. LatencyModel
+    # already clamps its delays non-negative; this pins the contract.
+    sim, network = build(latency=LatencyModel(one_way_delay=0.01, jitter_std=0.0))
+    network.register("b", lambda m: None)
+    network.send(Message(sender="a", recipient="b", msg_type="t", body=None))
+    sim.run()
+    assert network.delivered_count == 1
+
+
+def test_latency_cache_invalidated_by_new_override():
+    sim, network = build(latency=LatencyModel(one_way_delay=0.1, jitter_std=0.0))
+    arrivals = []
+    network.register("b", lambda m: arrivals.append(sim.now))
+    network.set_link_latency("a", "z", LatencyModel(one_way_delay=0.5, jitter_std=0.0))
+    # Populate the pair cache with the default model for a->b...
+    network.send(Message(sender="a", recipient="b", msg_type="t", body=None, size_bytes=0))
+    sim.run()
+    assert arrivals[-1] == pytest.approx(0.1)
+    # ...then override that pair; the cached resolution must not stick.
+    network.set_link_latency("a", "b", LatencyModel(one_way_delay=0.003, jitter_std=0.0))
+    network.send(Message(sender="a", recipient="b", msg_type="t", body=None, size_bytes=0))
+    sim.run()
+    assert arrivals[-1] - arrivals[-2] == pytest.approx(0.003, abs=1e-9)
+
+
+def test_no_override_fast_path_uses_live_default_model():
+    # With no per-link overrides the default model is consulted live,
+    # so swapping network.latency takes effect immediately.
+    sim, network = build(latency=LatencyModel(one_way_delay=0.1, jitter_std=0.0))
+    arrivals = []
+    network.register("b", lambda m: arrivals.append(sim.now))
+    network.latency = LatencyModel(one_way_delay=0.007, jitter_std=0.0)
+    network.send(Message(sender="a", recipient="b", msg_type="t", body=None, size_bytes=0))
+    sim.run()
+    assert arrivals[-1] == pytest.approx(0.007)

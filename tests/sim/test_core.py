@@ -99,3 +99,38 @@ def test_reentrant_run_rejected():
 
     sim.schedule(0.0, reenter)
     sim.run()
+
+
+def test_schedule_rejects_nan_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="finite"):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_schedule_rejects_infinite_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="finite"):
+        sim.schedule(float("inf"), lambda: None)
+    with pytest.raises(ValueError, match="finite"):
+        sim.schedule(float("-inf"), lambda: None)
+
+
+def test_schedule_at_rejects_non_finite_time():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="finite"):
+        sim.schedule_at(float("nan"), lambda: None)
+    with pytest.raises(ValueError, match="finite"):
+        sim.schedule_at(float("inf"), lambda: None)
+    with pytest.raises(ValueError, match="finite"):
+        sim.schedule_at(float("-inf"), lambda: None)
+
+
+def test_processed_events_counts_executed_callbacks():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=5.0)
+    assert sim.processed_events == 5
+    sim.run()
+    assert sim.processed_events == 6
