@@ -33,8 +33,10 @@ from repro.baselines.common import (
     FABRIC_CONTRACTS,
     Batch,
     BatchServer,
+    InOrderApplier,
     Nic,
     VersionedState,
+    announce_loop,
 )
 from repro.core.perf import PerfModel
 from repro.core.recording import TransactionRecorder
@@ -53,6 +55,8 @@ MSG_PREPARE = "bidl.prepare"
 MSG_VOTE = "bidl.vote"
 MSG_DECIDE = "bidl.decide"
 MSG_COMMIT_EVENT = "bidl.commit_event"
+MSG_SEQ_ANNOUNCE = "bidl.seq_announce"
+MSG_SEQ_FETCH = "bidl.seq_fetch"
 
 SEQUENCER_ID = "bidl-sequencer"
 LEADER_ID = "bidl-leader"
@@ -95,22 +99,45 @@ class BIDLOrg:
         self.contract = FABRIC_CONTRACTS[net.settings.app]()
         self.executed: Dict[str, Any] = {}
         self.committed = 0
+        # BIDL's defining property is that every org executes the
+        # sequenced stream in sequencer order; the applier enforces
+        # that, dedups the sequencer's multicast duplicates, and
+        # repairs gaps (lost transactions, crash recovery) by fetching
+        # from the sequencer's log (see repro.faults).
+        self.applier = InOrderApplier(
+            net.sim,
+            self._apply_sequenced,
+            self._request_sequenced,
+            name=f"{org_id}.seq",
+        )
         net.network.register(org_id, self._on_message)
 
     def _on_message(self, message: Message) -> None:
         if message.corrupted:
             return
         if message.msg_type == MSG_SEQUENCED:
-            self.net.sim.process(self._execute(message), name=f"{self.org_id}.execute")
+            self.applier.offer(message.body["seq"], message.body)
+        elif message.msg_type == MSG_SEQ_ANNOUNCE:
+            self.applier.on_announce(message.body["latest"])
         elif message.msg_type == MSG_PREPARE:
             self._vote(message)
         elif message.msg_type == MSG_DECIDE:
             self.net.sim.process(self._commit(message), name=f"{self.org_id}.commit")
 
-    def _execute(self, message: Message):
+    def _request_sequenced(self, from_seq: int) -> None:
+        self.net.network.send(
+            Message(
+                sender=self.org_id,
+                recipient=SEQUENCER_ID,
+                msg_type=MSG_SEQ_FETCH,
+                body={"from": from_seq},
+                size_bytes=96,
+            )
+        )
+
+    def _apply_sequenced(self, txn: Dict[str, Any]):
         """Speculative execution, in parallel with consensus."""
         perf = self.net.settings.perf
-        txn = message.body
         started = self.net.sim.now
         yield from self.cpu.serve(perf.bidl_execute_per_txn)
         if txn["kind"] == "read":
@@ -258,6 +285,21 @@ class BIDLNetwork:
             name="bidl-sequencer",
         )
         self.network.register(SEQUENCER_ID, self._sequencer_receive)
+        # The sequencer's ordered log: orgs fetch missed transactions
+        # from here (gap repair + crash recovery), and the periodic
+        # announcement exposes transactions lost at the tail.
+        self.sequenced_log: List[Dict[str, Any]] = []
+        self.sim.process(
+            announce_loop(
+                self.sim,
+                self.network,
+                SEQUENCER_ID,
+                lambda: self.org_ids,
+                lambda: len(self.sequenced_log) - 1,
+                MSG_SEQ_ANNOUNCE,
+            ),
+            name="bidl.announce",
+        )
         # Consensus leader.
         self.leader_nic = Nic(self.sim, settings.latency.bandwidth_bytes_per_s)
         self.leader = BatchServer(
@@ -273,16 +315,36 @@ class BIDLNetwork:
     # -- sequencer ---------------------------------------------------------
 
     def _sequencer_receive(self, message: Message) -> None:
-        if message.corrupted or message.msg_type != MSG_SUBMIT:
+        if message.corrupted:
+            return
+        if message.msg_type == MSG_SEQ_FETCH:
+            self._resend_sequenced(message.sender, message.body["from"])
+            return
+        if message.msg_type != MSG_SUBMIT:
             return
         self._sequence_arrivals[message.body["txn_id"]] = self.sim.now
         self.sequencer.enqueue(message.body)
+
+    def _resend_sequenced(self, org_id: str, from_seq: int) -> None:
+        """Re-send sequenced transactions ``from_seq``.. to one org."""
+        for seq in range(max(0, from_seq), len(self.sequenced_log)):
+            self.network.send(
+                Message(
+                    sender=SEQUENCER_ID,
+                    recipient=org_id,
+                    msg_type=MSG_SEQUENCED,
+                    body=self.sequenced_log[seq],
+                    size_bytes=TXN_BYTES,
+                )
+            )
 
     def _sequence_batch(self, batch: Batch):
         total_bytes = sum(TXN_BYTES for _ in batch.items) * (len(self.org_ids) + 1)
         yield from self.sequencer_nic.transmit(total_bytes)
         now = self.sim.now
         for txn in batch.items:
+            txn["seq"] = len(self.sequenced_log)
+            self.sequenced_log.append(txn)
             arrived = self._sequence_arrivals.pop(txn["txn_id"], now)
             self.recorder.phase("bidl/P1/Sequence", now - arrived)
             if self.tracer is not None:

@@ -14,6 +14,14 @@
   BIDL sequencer/consensus leader, and the Sync HotStuff leader.
 * :class:`Nic` — a capacity-one resource modeling a node's outgoing
   link: broadcasting a block to n peers serializes n copies through it.
+* :class:`InOrderApplier` — per-replica gap-repairing in-order delivery
+  of an indexed stream (blocks, sequenced transactions, proposals).
+  Every ordered baseline disseminates an indexed log from one source;
+  the applier buffers out-of-order entries, applies them strictly by
+  index through a single process, and asks the source to re-send from
+  the first missing index when no progress is made — which makes the
+  same mechanism serve message loss, crash recovery, and healed
+  partitions (see ``repro.faults``).
 """
 
 from __future__ import annotations
@@ -67,6 +75,10 @@ class VersionedState:
     def apply_write_set(self, write_set: Sequence[Tuple[str, Any]]) -> None:
         for key, value in write_set:
             self.put(key, value)
+
+    def snapshot(self) -> Dict[str, Tuple[Any, int]]:
+        """Canonical (key-sorted) copy for convergence checks."""
+        return dict(sorted(self._state.items()))
 
     def __len__(self) -> int:
         return len(self._state)
@@ -285,9 +297,150 @@ def _any_of(sim: Simulator, events):
     return AnyOf(sim, events)
 
 
+class InOrderApplier:
+    """Strictly in-order application of an indexed entry stream.
+
+    The ordered baselines (Fabric, FabricCRDT, BIDL, Sync HotStuff)
+    each disseminate an append-only log — blocks, sequenced
+    transactions, proposals — from a single source. A replica must
+    apply entries in index order or its state diverges from peers that
+    saw a different arrival order. This applier provides that, plus
+    the repair loop that makes the stream survive faults:
+
+    * ``offer(index, payload)`` buffers an entry and returns False for
+      duplicates (the dedup that makes re-sends and duplicated
+      messages harmless);
+    * one drain process applies buffered entries in index order via
+      the ``apply_entry`` generator (CPU serving happens inside it);
+    * a gap watchdog fires after ``gap_timeout`` without progress and
+      calls ``request_resend(next_index)`` so the source can re-send —
+      covering entries lost to link faults, partitions, or a crash;
+    * ``on_announce(latest)`` lets a periodic source heartbeat reveal
+      missed *tail* entries that no later message would expose.
+
+    Fully deterministic: no randomness, all timing through the
+    simulator.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        apply_entry: Callable[[Any], Any],
+        request_resend: Callable[[int], None],
+        gap_timeout: float = 0.5,
+        name: str = "inorder",
+    ) -> None:
+        self._sim = sim
+        self._apply_entry = apply_entry
+        self._request_resend = request_resend
+        self.gap_timeout = gap_timeout
+        self.name = name
+        self.next_index = 0
+        self._pending: Dict[int, Any] = {}
+        self._applying = False
+        self._watching = False
+        self._announced = -1
+        self.duplicates = 0
+        self.repairs_requested = 0
+
+    def seen(self, index: int) -> bool:
+        return index < self.next_index or index in self._pending
+
+    def offer(self, index: int, payload: Any) -> bool:
+        """Accept an entry; False when it is a duplicate."""
+        if self.seen(index):
+            self.duplicates += 1
+            return False
+        self._pending[index] = payload
+        if not self._applying:
+            self._applying = True
+            self._sim.process(self._drain(), name=f"{self.name}.drain")
+        if index > self.next_index:
+            self._watch_gap()
+        return True
+
+    def on_announce(self, latest: int) -> None:
+        """The source's heartbeat: its log currently ends at ``latest``."""
+        if latest >= self.next_index:
+            self._announced = max(self._announced, latest)
+            self._watch_gap()
+
+    def request_catchup(self) -> None:
+        """Proactively ask the source for everything we have not applied.
+
+        Used by crash recovery; a no-op resend request when nothing was
+        missed (the source has nothing newer to send).
+        """
+        self.repairs_requested += 1
+        self._request_resend(self.next_index)
+
+    def _gap_exists(self) -> bool:
+        if self.next_index in self._pending:
+            return False
+        return bool(self._pending) or self._announced >= self.next_index
+
+    def _watch_gap(self) -> None:
+        if self._watching:
+            return
+        self._watching = True
+        self._sim.process(self._gap_watchdog(), name=f"{self.name}.gap")
+
+    def _gap_watchdog(self):
+        try:
+            while True:
+                progress_mark = self.next_index
+                yield self._sim.timeout(self.gap_timeout)
+                if not self._gap_exists():
+                    return
+                if self.next_index == progress_mark:
+                    self.repairs_requested += 1
+                    self._request_resend(self.next_index)
+        finally:
+            self._watching = False
+
+    def _drain(self):
+        try:
+            while self.next_index in self._pending:
+                payload = self._pending.pop(self.next_index)
+                # Advance before applying so a duplicate of this entry
+                # arriving mid-application is recognized as seen.
+                self.next_index += 1
+                yield from self._apply_entry(payload)
+        finally:
+            self._applying = False
+
+
+def announce_loop(sim, network, sender: str, recipients, latest, msg_type: str, interval: float = 1.0):
+    """Generator: periodically announce a source log's latest index.
+
+    ``recipients`` and ``latest`` are callables so membership and log
+    length are read at send time. Drives
+    :meth:`InOrderApplier.on_announce` on the receiving side.
+    """
+    from repro.net.message import Message
+
+    while True:
+        yield sim.timeout(interval)
+        latest_index = latest()
+        if latest_index < 0:
+            continue
+        for node_id in recipients():
+            network.send(
+                Message(
+                    sender=sender,
+                    recipient=node_id,
+                    msg_type=msg_type,
+                    body={"latest": latest_index},
+                    size_bytes=64,
+                )
+            )
+
+
 __all__ = [
     "Batch",
     "BatchServer",
+    "InOrderApplier",
+    "announce_loop",
     "FABRIC_CONTRACTS",
     "FabricAuctionContract",
     "FabricStyleContract",

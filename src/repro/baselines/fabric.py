@@ -24,7 +24,9 @@ from repro.baselines.common import (
     Batch,
     BatchServer,
     FabricStyleContract,
+    InOrderApplier,
     VersionedState,
+    announce_loop,
 )
 from repro.core.perf import PerfModel
 from repro.core.recording import TransactionRecorder
@@ -46,6 +48,8 @@ MSG_READ = "fabric.read"
 MSG_READ_RESPONSE = "fabric.read_response"
 MSG_RAFT_APPEND = "fabric.raft.append"
 MSG_RAFT_ACK = "fabric.raft.ack"
+MSG_BLOCK_ANNOUNCE = "fabric.block_announce"
+MSG_BLOCK_FETCH = "fabric.block_fetch"
 
 ORDERER_ID = "fabric-orderer"
 
@@ -91,6 +95,16 @@ class FabricPeer:
         self.contract: FabricStyleContract = FABRIC_CONTRACTS[net.settings.app]()
         self.committed_valid = 0
         self.committed_invalid = 0
+        # Blocks apply strictly in ledger order: Fabric peers commit
+        # block k before k+1 (MVCC verdicts depend on it). The applier
+        # also dedups re-sent blocks and repairs gaps after message
+        # loss, partitions, or a crash (see repro.faults).
+        self.applier = InOrderApplier(
+            net.sim,
+            self._apply_block,
+            self._request_blocks,
+            name=f"{peer_id}.blocks",
+        )
         net.network.register(peer_id, self._on_message)
 
     def _on_message(self, message: Message) -> None:
@@ -99,9 +113,22 @@ class FabricPeer:
         if message.msg_type == MSG_PROPOSAL:
             self.net.sim.process(self._endorse(message), name=f"{self.peer_id}.endorse")
         elif message.msg_type == MSG_BLOCK:
-            self.net.sim.process(self._validate_block(message), name=f"{self.peer_id}.validate")
+            self.applier.offer(message.body["index"], message.body["transactions"])
+        elif message.msg_type == MSG_BLOCK_ANNOUNCE:
+            self.applier.on_announce(message.body["latest"])
         elif message.msg_type == MSG_READ:
             self.net.sim.process(self._read(message), name=f"{self.peer_id}.read")
+
+    def _request_blocks(self, from_index: int) -> None:
+        self.net.network.send(
+            Message(
+                sender=self.peer_id,
+                recipient=ORDERER_ID,
+                msg_type=MSG_BLOCK_FETCH,
+                body={"from": from_index},
+                size_bytes=96,
+            )
+        )
 
     def _endorse(self, message: Message):
         arrived = self.net.sim.now
@@ -131,9 +158,9 @@ class FabricPeer:
             )
         )
 
-    def _validate_block(self, message: Message):
+    def _apply_block(self, transactions: List[Dict[str, Any]]):
         perf = self.net.settings.perf
-        for txn in message.body["transactions"]:
+        for txn in transactions:
             arrived = self.net.sim.now
             yield from self.cpu.serve(perf.fabric_validate_per_txn)
             valid = self.state.mvcc_check([tuple(rs) for rs in txn["read_set"]])
@@ -318,6 +345,21 @@ class FabricNetwork:
             name=f"{settings.orderer_type}-orderer",
         )
         self.network.register(ORDERER_ID, self._orderer_receive)
+        # The ordered block log: peers fetch missed blocks from here
+        # (gap repair + crash recovery), and a periodic announcement of
+        # the latest index exposes blocks lost at the tail.
+        self.block_log: List[List[Dict[str, Any]]] = []
+        self.sim.process(
+            announce_loop(
+                self.sim,
+                self.network,
+                ORDERER_ID,
+                lambda: self.peer_ids,
+                lambda: len(self.block_log) - 1,
+                MSG_BLOCK_ANNOUNCE,
+            ),
+            name="fabric.announce",
+        )
         self._raft_acks: dict = {}
         self._raft_block_ids = 0
         if settings.orderer_type == "raft":
@@ -327,7 +369,14 @@ class FabricNetwork:
                 )
 
     def _orderer_receive(self, message: Message) -> None:
-        if message.corrupted or message.msg_type not in (MSG_ORDER, MSG_RAFT_ACK):
+        if message.corrupted or message.msg_type not in (
+            MSG_ORDER,
+            MSG_RAFT_ACK,
+            MSG_BLOCK_FETCH,
+        ):
+            return
+        if message.msg_type == MSG_BLOCK_FETCH:
+            self._resend_blocks(message.sender, message.body["from"])
             return
         if message.msg_type == MSG_RAFT_ACK:
             entry = self._raft_acks.get(message.body["block_id"])
@@ -396,21 +445,42 @@ class FabricNetwork:
                     node=ORDERER_ID,
                     txn_id=txn["txn_id"],
                 )
-        size = 200 + sum(
-            100 + 60 * (len(txn["read_set"]) + len(txn["write_set"])) for txn in batch.items
-        )
+        index = len(self.block_log)
+        self.block_log.append(batch.items)
+        size = self._block_bytes(batch.items)
         for peer_id in self.peer_ids:
             self.network.send(
                 Message(
                     sender=ORDERER_ID,
                     recipient=peer_id,
                     msg_type=MSG_BLOCK,
-                    body={"transactions": batch.items},
+                    body={"index": index, "transactions": batch.items},
                     size_bytes=size,
                 )
             )
         return
         yield  # pragma: no cover - marks this as a generator for BatchServer
+
+    @staticmethod
+    def _block_bytes(transactions: List[Dict[str, Any]]) -> int:
+        return 200 + sum(
+            100 + 60 * (len(txn["read_set"]) + len(txn["write_set"]))
+            for txn in transactions
+        )
+
+    def _resend_blocks(self, peer_id: str, from_index: int) -> None:
+        """Re-send blocks ``from_index``.. to one peer (gap repair)."""
+        for index in range(max(0, from_index), len(self.block_log)):
+            transactions = self.block_log[index]
+            self.network.send(
+                Message(
+                    sender=ORDERER_ID,
+                    recipient=peer_id,
+                    msg_type=MSG_BLOCK,
+                    body={"index": index, "transactions": transactions},
+                    size_bytes=self._block_bytes(transactions),
+                )
+            )
 
     def attach_observability(self, obs) -> None:
         """Wire a :class:`repro.obs.Observability` into this network."""

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.baselines.common import Batch, BatchServer
+from repro.baselines.common import Batch, BatchServer, InOrderApplier, announce_loop
 from repro.core.perf import PerfModel
 from repro.core.recording import TransactionRecorder
 from repro.crdt.json_crdt import JSONCRDTDocument
@@ -45,6 +45,9 @@ MSG_BLOCK = "fabriccrdt.block"
 MSG_COMMIT_EVENT = "fabriccrdt.commit_event"
 MSG_READ = "fabriccrdt.read"
 MSG_READ_RESPONSE = "fabriccrdt.read_response"
+
+MSG_BLOCK_ANNOUNCE = "fabriccrdt.block_announce"
+MSG_BLOCK_FETCH = "fabriccrdt.block_fetch"
 
 ORDERER_ID = "fabriccrdt-orderer"
 
@@ -121,6 +124,15 @@ class FabricCRDTPeer:
         self.cpu = Resource(net.sim, capacity=net.settings.perf.vcpus)
         self.documents: Dict[str, JSONCRDTDocument] = {}
         self.committed = 0
+        # CRDT merges commute, but blocks still apply in order through
+        # the shared applier for its dedup and gap repair (message
+        # loss, partitions, crash recovery — see repro.faults).
+        self.applier = InOrderApplier(
+            net.sim,
+            self._apply_block,
+            self._request_blocks,
+            name=f"{peer_id}.blocks",
+        )
         net.network.register(peer_id, self._on_message)
 
     def document(self, key: str) -> JSONCRDTDocument:
@@ -138,7 +150,9 @@ class FabricCRDTPeer:
         if message.msg_type == MSG_PROPOSAL:
             self.net.sim.process(self._endorse(message), name=f"{self.peer_id}.endorse")
         elif message.msg_type == MSG_BLOCK:
-            self.net.sim.process(self._merge_block(message), name=f"{self.peer_id}.merge")
+            self.applier.offer(message.body["index"], message.body["transactions"])
+        elif message.msg_type == MSG_BLOCK_ANNOUNCE:
+            self.applier.on_announce(message.body["latest"])
         elif message.msg_type == MSG_READ:
             self.net.sim.process(self._read(message), name=f"{self.peer_id}.read")
 
@@ -172,9 +186,20 @@ class FabricCRDTPeer:
             )
         )
 
-    def _merge_block(self, message: Message):
+    def _request_blocks(self, from_index: int) -> None:
+        self.net.network.send(
+            Message(
+                sender=self.peer_id,
+                recipient=ORDERER_ID,
+                msg_type=MSG_BLOCK_FETCH,
+                body={"from": from_index},
+                size_bytes=96,
+            )
+        )
+
+    def _apply_block(self, transactions: List[Dict[str, Any]]):
         perf = self.net.settings.perf
-        for txn in message.body["transactions"]:
+        for txn in transactions:
             arrived = self.net.sim.now
             history = sum(self.document_size(key) for key, _, _ in txn["updates"])
             yield from self.cpu.serve(
@@ -357,13 +382,33 @@ class FabricCRDTNetwork:
             name="fabriccrdt-orderer",
         )
         self.network.register(ORDERER_ID, self._orderer_receive)
+        # Ordered block log for gap repair and crash recovery.
+        self.block_log: List[List[Dict[str, Any]]] = []
+        self.sim.process(
+            announce_loop(
+                self.sim,
+                self.network,
+                ORDERER_ID,
+                lambda: self.peer_ids,
+                lambda: len(self.block_log) - 1,
+                MSG_BLOCK_ANNOUNCE,
+            ),
+            name="fabriccrdt.announce",
+        )
 
     def _orderer_receive(self, message: Message) -> None:
-        if message.corrupted or message.msg_type != MSG_ORDER:
+        if message.corrupted:
+            return
+        if message.msg_type == MSG_BLOCK_FETCH:
+            self._resend_blocks(message.sender, message.body["from"])
+            return
+        if message.msg_type != MSG_ORDER:
             return
         self.orderer.enqueue(message.body)
 
     def _broadcast_block(self, batch: Batch):
+        index = len(self.block_log)
+        self.block_log.append(batch.items)
         size = 200 + 150 * len(batch.items)
         for peer_id in self.peer_ids:
             self.network.send(
@@ -371,12 +416,26 @@ class FabricCRDTNetwork:
                     sender=ORDERER_ID,
                     recipient=peer_id,
                     msg_type=MSG_BLOCK,
-                    body={"transactions": batch.items},
+                    body={"index": index, "transactions": batch.items},
                     size_bytes=size,
                 )
             )
         return
         yield  # pragma: no cover - marks this as a generator for BatchServer
+
+    def _resend_blocks(self, peer_id: str, from_index: int) -> None:
+        """Re-send blocks ``from_index``.. to one peer (gap repair)."""
+        for index in range(max(0, from_index), len(self.block_log)):
+            transactions = self.block_log[index]
+            self.network.send(
+                Message(
+                    sender=ORDERER_ID,
+                    recipient=peer_id,
+                    msg_type=MSG_BLOCK,
+                    body={"index": index, "transactions": transactions},
+                    size_bytes=200 + 150 * len(transactions),
+                )
+            )
 
     def attach_observability(self, obs) -> None:
         """Wire a :class:`repro.obs.Observability` into this network."""

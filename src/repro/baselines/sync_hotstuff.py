@@ -28,8 +28,10 @@ from repro.baselines.common import (
     FABRIC_CONTRACTS,
     Batch,
     BatchServer,
+    InOrderApplier,
     Nic,
     VersionedState,
+    announce_loop,
 )
 from repro.core.perf import PerfModel
 from repro.core.recording import TransactionRecorder
@@ -46,6 +48,8 @@ MSG_SUBMIT = "hotstuff.submit"
 MSG_PROPOSE = "hotstuff.propose"
 MSG_VOTE = "hotstuff.vote"
 MSG_COMMIT_EVENT = "hotstuff.commit_event"
+MSG_PROPOSE_ANNOUNCE = "hotstuff.propose_announce"
+MSG_PROPOSE_FETCH = "hotstuff.propose_fetch"
 
 LEADER_ID = "hotstuff-leader"
 
@@ -78,28 +82,60 @@ class SyncHotStuffOrg:
         self.state = VersionedState()
         self.contract = FABRIC_CONTRACTS[net.settings.app]()
         self.committed = 0
+        # Proposals apply strictly in batch order (replicas replicate
+        # the leader's log); the applier dedups re-sent proposals and
+        # repairs gaps after message loss, partitions, or a crash
+        # (see repro.faults).
+        self.applier = InOrderApplier(
+            net.sim,
+            self._apply_proposal,
+            self._request_proposals,
+            name=f"{org_id}.proposals",
+        )
         net.network.register(org_id, self._on_message)
 
     def _on_message(self, message: Message) -> None:
         if message.corrupted:
             return
         if message.msg_type == MSG_PROPOSE:
-            # Vote immediately; commit after the synchronous 2Δ wait.
+            body = message.body
+            # Commit is 2Δ after *receipt*; stamp the deadline now so
+            # the in-order applier can wait out whatever remains when
+            # this proposal's turn comes.
+            ready_at = self.net.sim.now + 2 * self.net.settings.perf.hotstuff_delta
+            if not self.applier.offer(body["index"], (body["transactions"], ready_at)):
+                return
+            # Vote only on first receipt; under synchrony every correct
+            # replica votes, so commit stays time-driven.
             self.net.network.send(
                 Message(
                     sender=self.org_id,
                     recipient=LEADER_ID,
                     msg_type=MSG_VOTE,
-                    body={"batch_id": message.body["batch_id"]},
+                    body={"batch_id": body["batch_id"]},
                     size_bytes=120,
                 )
             )
-            self.net.sim.process(self._commit_after_2delta(message), name=f"{self.org_id}.commit")
+        elif message.msg_type == MSG_PROPOSE_ANNOUNCE:
+            self.applier.on_announce(message.body["latest"])
 
-    def _commit_after_2delta(self, message: Message):
+    def _request_proposals(self, from_index: int) -> None:
+        self.net.network.send(
+            Message(
+                sender=self.org_id,
+                recipient=LEADER_ID,
+                msg_type=MSG_PROPOSE_FETCH,
+                body={"from": from_index},
+                size_bytes=96,
+            )
+        )
+
+    def _apply_proposal(self, entry):
+        transactions, ready_at = entry
         perf = self.net.settings.perf
-        yield self.net.sim.timeout(2 * perf.hotstuff_delta)
-        for txn in message.body["transactions"]:
+        if ready_at > self.net.sim.now:
+            yield self.net.sim.timeout(ready_at - self.net.sim.now)
+        for txn in transactions:
             started = self.net.sim.now
             yield from self.cpu.serve(perf.hotstuff_commit_per_txn)
             if txn["kind"] == "read":
@@ -214,9 +250,27 @@ class SyncHotStuffNetwork:
             name="hotstuff-leader",
         )
         self.network.register(LEADER_ID, self._leader_receive)
+        # The leader's ordered proposal log: replicas fetch missed
+        # proposals (gap repair + crash recovery); the announcement
+        # loop exposes proposals lost at the tail.
+        self.proposal_log: List[Dict[str, Any]] = []
+        self.sim.process(
+            announce_loop(
+                self.sim,
+                self.network,
+                LEADER_ID,
+                lambda: self.org_ids,
+                lambda: len(self.proposal_log) - 1,
+                MSG_PROPOSE_ANNOUNCE,
+            ),
+            name="hotstuff.announce",
+        )
 
     def _leader_receive(self, message: Message) -> None:
         if message.corrupted:
+            return
+        if message.msg_type == MSG_PROPOSE_FETCH:
+            self._resend_proposals(message.sender, message.body["from"])
             return
         if message.msg_type == MSG_SUBMIT:
             self._submit_arrivals[message.body["txn_id"]] = self.sim.now
@@ -238,7 +292,12 @@ class SyncHotStuffNetwork:
                 self.tracer.span(
                     "hotstuff/P1/Consensus", arrived, now, node=LEADER_ID, txn_id=txn["txn_id"]
                 )
-        proposal = {"batch_id": self._batch_counter, "transactions": batch.items}
+        proposal = {
+            "index": len(self.proposal_log),
+            "batch_id": self._batch_counter,
+            "transactions": batch.items,
+        }
+        self.proposal_log.append(proposal)
         for org_id in self.org_ids:
             self.network.send(
                 Message(
@@ -247,6 +306,20 @@ class SyncHotStuffNetwork:
                     msg_type=MSG_PROPOSE,
                     body=proposal,
                     size_bytes=batch_bytes,
+                )
+            )
+
+    def _resend_proposals(self, org_id: str, from_index: int) -> None:
+        """Re-send proposals ``from_index``.. to one replica."""
+        for index in range(max(0, from_index), len(self.proposal_log)):
+            proposal = self.proposal_log[index]
+            self.network.send(
+                Message(
+                    sender=LEADER_ID,
+                    recipient=org_id,
+                    msg_type=MSG_PROPOSE,
+                    body=proposal,
+                    size_bytes=200 + TXN_BYTES * len(proposal["transactions"]),
                 )
             )
 

@@ -14,6 +14,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.core.perf import PerfModel
 from repro.errors import ConfigError
+from repro.faults.schedule import FaultSchedule
 
 SYSTEMS = ("orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff")
 APPS = ("synthetic", "voting", "auction")
@@ -80,6 +81,12 @@ class ExperimentConfig:
     # does not change simulated results (docs/OBSERVABILITY.md).
     trace: bool = False
     sample_interval: float = 0.0
+    # Fault injection (repro.faults): a declarative schedule executed
+    # deterministically during the run, and whether to run the
+    # invariant oracles (repro.checkers) at quiescence. See
+    # docs/FAULTS.md.
+    fault_schedule: Optional[FaultSchedule] = None
+    check: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:

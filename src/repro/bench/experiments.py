@@ -24,6 +24,7 @@ from repro.bench.config import ByzantineWindow, ExperimentConfig, default_scale
 from repro.bench.metrics import ExperimentResult
 from repro.bench.parallel import expect_results, run_sweep
 from repro.bench.runner import run_experiment
+from repro.faults import FaultSchedule, default_node_ids, smoke_schedule
 
 SweepResult = List[Tuple[object, ExperimentResult]]
 
@@ -598,12 +599,71 @@ def ablation_gossip_interval(
     return _sweep(intervals, configs, jobs)
 
 
+# -- chaos: fault schedules + invariant oracles (docs/FAULTS.md) ---------------
+
+SYSTEMS_UNDER_CHAOS = ("orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff")
+
+
+def chaos_run(
+    system: str = "orderlesschain",
+    app: str = "voting",
+    schedule: Optional[FaultSchedule] = None,
+    arrival_rate: float = 400.0,
+    num_orgs: int = 4,
+    quorum: int = 2,
+    duration: float = 20.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """One system under a fault schedule, oracle-checked at quiescence.
+
+    Uses :func:`repro.faults.smoke_schedule` (crash + partition + loss
+    burst) when no schedule is given, and extends the run past the
+    schedule horizon so recovery traffic can drain before the checkers
+    judge convergence and liveness. The result carries
+    ``check_report`` (pass/fail per oracle) and ``fingerprint`` (the
+    deterministic run digest).
+    """
+    if schedule is None:
+        schedule = smoke_schedule(default_node_ids(system, num_orgs))
+    config = ExperimentConfig(
+        system=system,
+        app=app,
+        arrival_rate=arrival_rate,
+        num_orgs=num_orgs,
+        quorum=quorum,
+        fault_schedule=schedule,
+        check=True,
+        **_base(max(duration, schedule.horizon + 5.0), scale, seed),
+    )
+    return run_experiment(config)
+
+
+def chaos_suite(
+    systems: Sequence[str] = SYSTEMS_UNDER_CHAOS,
+    app: str = "voting",
+    duration: float = 20.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, ExperimentResult]:
+    """The chaos smoke across every system; keyed by system name."""
+    return {
+        system: chaos_run(
+            system=system, app=app, duration=duration, scale=scale, seed=seed
+        )
+        for system in systems
+    }
+
+
 __all__ = [
     "DEFAULT_ARRIVAL_RATES",
     "PAPER_ARRIVAL_RATES",
     "PAPER_FIG9_RATES",
     "PAPER_FIG10_RATES",
+    "SYSTEMS_UNDER_CHAOS",
     "ablation_cache",
+    "chaos_run",
+    "chaos_suite",
     "ablation_fabric_orderer",
     "ablation_gossip_interval",
     "fig6a_arrival_rate",

@@ -118,6 +118,11 @@ class ExperimentResult:
     # The run's repro.obs.Observability when tracing/sampling was
     # enabled (None otherwise); carries the TraceCollector for export.
     observability: Optional[object] = None
+    # The invariant-oracle report (repro.checkers.CheckReport) when the
+    # config asked for checking, and the run's deterministic
+    # fingerprint (repro.checkers.run_fingerprint). None otherwise.
+    check_report: Optional[object] = None
+    fingerprint: Optional[str] = None
 
     def summary_row(self) -> Dict[str, object]:
         """A flat row for tabular reporting."""
@@ -150,6 +155,8 @@ def compute_result(
     timeline_bucket: float = 10.0,
     extra: Optional[Dict[str, float]] = None,
     observability=None,
+    check_report=None,
+    fingerprint: Optional[str] = None,
 ) -> ExperimentResult:
     """Summarize a run's recorder into an :class:`ExperimentResult`.
 
@@ -204,6 +211,8 @@ def compute_result(
         timeline=timeline,
         extra=dict(extra or {}),
         observability=observability,
+        check_report=check_report,
+        fingerprint=fingerprint,
     )
 
 

@@ -75,8 +75,11 @@ def _orderless_contract_factory(config: ExperimentConfig) -> Callable[[], object
 
 
 def _run_orderlesschain(
-    config: ExperimentConfig, workload: AppWorkload, obs: Optional[Observability] = None
-) -> TransactionRecorder:
+    config: ExperimentConfig,
+    workload: AppWorkload,
+    obs: Optional[Observability] = None,
+    prepare: Optional[Callable[[object], None]] = None,
+):
     settings = OrderlessChainSettings(
         num_orgs=config.num_orgs,
         quorum=config.quorum,
@@ -120,6 +123,8 @@ def _run_orderlesschain(
         return client.submit_read(contract_id, function, params)
 
     net.start()
+    if prepare is not None:
+        prepare(net)
     _drive(
         net.sim,
         workload_rng,
@@ -144,7 +149,7 @@ def _run_orderlesschain(
     utilization = sum(_org_utilization(org) for org in net.organizations) / len(
         net.organizations
     )
-    return net.recorder, {"mean_org_cpu_utilization": utilization}
+    return net, {"mean_org_cpu_utilization": utilization}
 
 
 # -- baselines ------------------------------------------------------------------
@@ -160,8 +165,11 @@ def _baseline_submit(workload: AppWorkload, workload_rng: random.Random):
 
 
 def _run_fabric(
-    config: ExperimentConfig, workload: AppWorkload, obs: Optional[Observability] = None
-) -> TransactionRecorder:
+    config: ExperimentConfig,
+    workload: AppWorkload,
+    obs: Optional[Observability] = None,
+    prepare: Optional[Callable[[object], None]] = None,
+):
     net = FabricNetwork(
         FabricSettings(
             num_orgs=config.num_orgs,
@@ -185,13 +193,18 @@ def _run_fabric(
         config.duration,
         config.modify_ratio,
     )
+    if prepare is not None:
+        prepare(net)
     net.run(until=config.duration + config.drain)
-    return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(p.cpu for p in net.peers)}
+    return net, {"mean_org_cpu_utilization": _mean_cpu_utilization(p.cpu for p in net.peers)}
 
 
 def _run_fabriccrdt(
-    config: ExperimentConfig, workload: AppWorkload, obs: Optional[Observability] = None
-) -> TransactionRecorder:
+    config: ExperimentConfig,
+    workload: AppWorkload,
+    obs: Optional[Observability] = None,
+    prepare: Optional[Callable[[object], None]] = None,
+):
     net = FabricCRDTNetwork(
         FabricCRDTSettings(
             num_orgs=config.num_orgs,
@@ -215,13 +228,18 @@ def _run_fabriccrdt(
         config.duration,
         config.modify_ratio,
     )
+    if prepare is not None:
+        prepare(net)
     net.run(until=config.duration + config.drain)
-    return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(p.cpu for p in net.peers)}
+    return net, {"mean_org_cpu_utilization": _mean_cpu_utilization(p.cpu for p in net.peers)}
 
 
 def _run_bidl(
-    config: ExperimentConfig, workload: AppWorkload, obs: Optional[Observability] = None
-) -> TransactionRecorder:
+    config: ExperimentConfig,
+    workload: AppWorkload,
+    obs: Optional[Observability] = None,
+    prepare: Optional[Callable[[object], None]] = None,
+):
     net = BIDLNetwork(
         BIDLSettings(
             num_orgs=config.num_orgs,
@@ -244,13 +262,18 @@ def _run_bidl(
         config.duration,
         config.modify_ratio,
     )
+    if prepare is not None:
+        prepare(net)
     net.run(until=config.duration + config.drain)
-    return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(o.cpu for o in net.orgs)}
+    return net, {"mean_org_cpu_utilization": _mean_cpu_utilization(o.cpu for o in net.orgs)}
 
 
 def _run_synchotstuff(
-    config: ExperimentConfig, workload: AppWorkload, obs: Optional[Observability] = None
-) -> TransactionRecorder:
+    config: ExperimentConfig,
+    workload: AppWorkload,
+    obs: Optional[Observability] = None,
+    prepare: Optional[Callable[[object], None]] = None,
+):
     net = SyncHotStuffNetwork(
         SyncHotStuffSettings(
             num_orgs=config.num_orgs,
@@ -273,8 +296,10 @@ def _run_synchotstuff(
         config.duration,
         config.modify_ratio,
     )
+    if prepare is not None:
+        prepare(net)
     net.run(until=config.duration + config.drain)
-    return net.recorder, {"mean_org_cpu_utilization": _mean_cpu_utilization(o.cpu for o in net.orgs)}
+    return net, {"mean_org_cpu_utilization": _mean_cpu_utilization(o.cpu for o in net.orgs)}
 
 
 _RUNNERS = {
@@ -302,15 +327,40 @@ def run_experiment(
     Pass ``obs`` to reuse a pre-built :class:`repro.obs.Observability`
     (e.g. with an extra recorder); otherwise one is created when the
     config asks for tracing or sampling.
+
+    When ``config.fault_schedule`` is set, the schedule is installed
+    before the run starts (fault injection is part of the deterministic
+    event order); when ``config.check`` is set, the invariant oracles
+    run at quiescence and the result carries their
+    :class:`~repro.checkers.report.CheckReport` plus the run's
+    deterministic fingerprint (docs/FAULTS.md).
     """
+    from repro.checkers import run_checkers, run_fingerprint
+    from repro.faults import install_schedule
+
     workload = make_workload(config)
     if obs is None and (config.trace or config.sample_interval > 0):
         obs = Observability(
             trace=config.trace, sample_interval=config.sample_interval
         )
-    recorder, extra = _RUNNERS[config.system](config, workload, obs)
+    injector = None
+
+    def prepare(net) -> None:
+        nonlocal injector
+        if config.fault_schedule is not None:
+            tracer = obs.recorder if obs is not None else None
+            injector = install_schedule(net, config.fault_schedule, tracer=tracer)
+
+    net, extra = _RUNNERS[config.system](config, workload, obs, prepare)
+    if injector is not None:
+        injector.finalize()
+    check_report = None
+    fingerprint = None
+    if config.check:
+        check_report = run_checkers(net, schedule=config.fault_schedule)
+        fingerprint = run_fingerprint(net)
     return compute_result(
-        recorder,
+        net.recorder,
         system=config.system,
         app=config.app,
         arrival_rate=config.arrival_rate,
@@ -318,6 +368,8 @@ def run_experiment(
         timeline_bucket=config.timeline_bucket,
         extra=extra,
         observability=obs,
+        check_report=check_report,
+        fingerprint=fingerprint,
     )
 
 

@@ -1,0 +1,49 @@
+"""System-wide invariant oracles.
+
+The checkers turn the simulator into a correctness-testing rig: after
+(or during) a run — typically one driven through a
+``repro.faults.FaultSchedule`` — they machine-check the properties the
+paper claims (Sections 5–8):
+
+* **Convergence** — all honest, alive organizations hold the same
+  canonical CRDT/application state bytes.
+* **Ledger integrity** — every hash-chain ledger verifies end to end.
+* **Policy safety** — no committed transaction lacks a valid
+  endorsement quorum, and with ≤ f Byzantine organizations no quorum
+  consists of Byzantine endorsers only.
+* **Liveness** — submitted transactions resolve (commit or fail)
+  within the client's own timeout budget, and progress resumes after
+  the last fault heals.
+
+Run them with :func:`run_checkers` against any of the five systems
+(the same :mod:`repro.faults.adapters` surface the fault engine uses);
+the result is a :class:`~repro.checkers.report.CheckReport` whose
+``format()`` is the diagnosable failure report the chaos tests and the
+CLI print. See ``docs/FAULTS.md``.
+"""
+
+from repro.checkers.fingerprint import run_fingerprint, state_fingerprints
+from repro.checkers.oracles import (
+    CheckContext,
+    ConvergenceChecker,
+    LedgerIntegrityChecker,
+    LivenessChecker,
+    PolicySafetyChecker,
+    default_checkers,
+    run_checkers,
+)
+from repro.checkers.report import CheckReport, CheckResult
+
+__all__ = [
+    "CheckContext",
+    "CheckReport",
+    "CheckResult",
+    "ConvergenceChecker",
+    "LedgerIntegrityChecker",
+    "LivenessChecker",
+    "PolicySafetyChecker",
+    "default_checkers",
+    "run_checkers",
+    "run_fingerprint",
+    "state_fingerprints",
+]

@@ -1,0 +1,92 @@
+"""Check results and the aggregate report.
+
+A result is ``pass``, ``fail``, or ``skip`` (the oracle does not apply
+to this system or this moment — e.g. convergence mid-partition).
+Failures carry per-violation detail lines so a red chaos run is
+diagnosable from the report alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+PASS = "pass"
+FAIL = "fail"
+SKIP = "skip"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one oracle."""
+
+    name: str
+    status: str  # pass | fail | skip
+    details: str = ""
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status != FAIL
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "details": self.details,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class CheckReport:
+    """All oracle outcomes for one run, at one check time."""
+
+    system: str
+    checked_at: float
+    quiescent: bool
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [result for result in self.results if not result.ok]
+
+    def result(self, name: str) -> CheckResult:
+        for entry in self.results:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no check named {name!r} in report")
+
+    def format(self) -> str:
+        """Human-readable report (what the CLI and chaos tests print)."""
+        mark = {PASS: "ok", FAIL: "FAIL", SKIP: "skip"}
+        when = "quiescence" if self.quiescent else "mid-run"
+        lines = [
+            f"checks for {self.system} at t={self.checked_at:.3f} ({when}): "
+            + ("all passed" if self.ok else f"{len(self.failures)} FAILED")
+        ]
+        for result in self.results:
+            lines.append(f"  [{mark[result.status]:>4}] {result.name}"
+                         + (f" — {result.details}" if result.details else ""))
+            for violation in result.violations[:20]:
+                lines.append(f"         * {violation}")
+            hidden = len(result.violations) - 20
+            if hidden > 0:
+                lines.append(f"         * ... and {hidden} more")
+        return "\n".join(lines)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "system": self.system,
+            "checked_at": self.checked_at,
+            "quiescent": self.quiescent,
+            "ok": self.ok,
+            "results": [result.to_wire() for result in self.results],
+        }
+
+
+__all__ = ["CheckReport", "CheckResult", "PASS", "FAIL", "SKIP"]

@@ -129,7 +129,45 @@ def _run_table3(args):
     return text, rows
 
 
+def _run_chaos(args):
+    """Fault schedules + invariant oracles (docs/FAULTS.md)."""
+    from repro.faults import FaultSchedule
+
+    faults = getattr(args, "faults", None)
+    system = getattr(args, "system", None)
+    schedule = FaultSchedule.from_file(faults) if faults else None
+    systems = [system] if system else list(experiments.SYSTEMS_UNDER_CHAOS)
+    lines: List[str] = []
+    payload: List[Dict] = []
+    failed = False
+    for system in systems:
+        result = experiments.chaos_run(
+            system=system,
+            app=args.app,
+            schedule=schedule,
+            duration=args.duration,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        report = result.check_report
+        failed = failed or not report.ok
+        lines.append(report.format())
+        lines.append(f"  fingerprint: {result.fingerprint}")
+        lines.append("")
+        payload.append(
+            {
+                "system": system,
+                "fingerprint": result.fingerprint,
+                "report": report.to_wire(),
+                "result": export.result_to_record(result),
+            }
+        )
+    lines.append("chaos: FAILED" if failed else "chaos: all oracles passed")
+    return "\n".join(lines), payload, (1 if failed else 0)
+
+
 EXPERIMENTS: Dict[str, tuple[str, Callable]] = {
+    "chaos": ("fault schedule + invariant oracles, all systems", _run_chaos),
     "fig6a": ("synthetic arrival-rate sweep", _run_fig6a),
     "fig6b": ("synthetic organization sweep", _run_fig6b),
     "fig6c": ("synthetic endorsement-policy sweep", _run_fig6c),
@@ -152,12 +190,14 @@ def _cmd_list(args) -> int:
 
 def _cmd_run(args) -> int:
     _, runner = EXPERIMENTS[args.experiment]
-    text, payload = runner(args)
+    text, payload, *rest = runner(args)
     print(text)
     if args.output:
         export.to_json(payload, path=args.output)
         print(f"\nwrote {args.output}")
-    return 0
+    # A runner may return a third element: its exit code (chaos uses
+    # this to fail the invocation when an oracle fails).
+    return rest[0] if rest else 0
 
 
 def _cmd_bench(args) -> int:
@@ -179,10 +219,12 @@ def _cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 2
+    code = 0
     for name in names:
         _, runner = EXPERIMENTS[name]
         print(f"== {name} (jobs={args.jobs}) ==")
-        text, payload = runner(args)
+        text, payload, *rest = runner(args)
+        code = max(code, rest[0] if rest else 0)
         print(text)
         if args.output_dir:
             os.makedirs(args.output_dir, exist_ok=True)
@@ -190,7 +232,7 @@ def _cmd_bench(args) -> int:
             export.to_json(payload, path=path)
             print(f"wrote {path}")
         print()
-    return 0
+    return code
 
 
 def _cmd_trace(args) -> int:
@@ -316,6 +358,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (default: REPRO_BENCH_JOBS or 1)",
     )
     run.add_argument("--output", default=None, help="write the figure data as JSON")
+    run.add_argument(
+        "--system",
+        choices=["orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff"],
+        default=None,
+        help="chaos only: check one system instead of all five",
+    )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SCHEDULE.json",
+        help="chaos only: a fault schedule file (default: the built-in smoke schedule)",
+    )
+    run.add_argument(
+        "--check",
+        action="store_true",
+        help="run the invariant oracles at quiescence (chaos always checks)",
+    )
     run.set_defaults(func=_cmd_run)
 
     bench = subparsers.add_parser(

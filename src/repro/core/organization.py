@@ -105,6 +105,12 @@ class Organization:
         self.proposal_guards: List[Any] = []
         # Valid transaction ids per touched object (used by sealing).
         self._txns_by_object: Dict[str, set] = {}
+        # Fail-stop crash flag (set by the fault-injection layer in
+        # tandem with ``Network.crash``): a crashed organization ignores
+        # incoming messages and skips its background loops. Compute
+        # already in progress finishes — fail-stop at message
+        # boundaries, matching the network's crash semantics.
+        self.crashed = False
         # Counters for assertions and reporting.
         self.endorsed_count = 0
         self.committed_valid = 0
@@ -134,6 +140,12 @@ class Organization:
     # -- message dispatch -------------------------------------------------
 
     def _on_message(self, message: Message) -> None:
+        if self.crashed:
+            # Normally unreachable (the network drops traffic to a
+            # crashed node) but guards direct handler calls from
+            # protocol extensions.
+            self.dropped_requests += 1
+            return
         if message.corrupted:
             # Transport-level integrity check fails; garbage is dropped
             # (the sender may retransmit or the client times out).
@@ -185,7 +197,9 @@ class Organization:
         granted = self.sim.now
         try:
             yield self.sim.timeout(
-                self.perf.endorse_base + self.perf.endorse_per_op * len(write_set)
+                self.cpu.service_time(
+                    self.perf.endorse_base + self.perf.endorse_per_op * len(write_set)
+                )
             )
         finally:
             self.cpu.release(request)
@@ -428,7 +442,7 @@ class Organization:
     def _gossip_loop(self):
         while True:
             yield self.sim.timeout(self.gossip_interval)
-            if not self._gossip_backlog or not self.peer_ids:
+            if self.crashed or not self._gossip_backlog or not self.peer_ids:
                 continue
             entries, self._gossip_backlog = self._gossip_backlog, []
             # Re-queue transactions that still have rounds left.
@@ -489,7 +503,7 @@ class Organization:
         """
         while True:
             yield self.sim.timeout(self.sync_interval)
-            if not self.peer_ids:
+            if self.crashed or not self.peer_ids:
                 continue
             if (
                 self.byzantine_active
@@ -510,22 +524,49 @@ class Organization:
             )
 
     def _handle_sync_digest(self, message: Message) -> None:
+        """Push-pull reconciliation against a peer's digest.
+
+        Pull: request the transactions the digest lists that we lack.
+        Push: send back (as a gossip batch) the valid transactions we
+        hold that the digest does not list — this is what lets a
+        recovered organization catch up by *announcing* its (stale)
+        digest to peers (see :meth:`resync`), and halves the number of
+        anti-entropy rounds needed after a partition heals.
+        """
+        digest = set(message.body["txn_ids"])
         missing = [
             txn_id
             for txn_id in message.body["txn_ids"]
             if not self.ledger.has_transaction(txn_id)
         ]
-        if not missing:
-            return
-        self.network.send(
-            Message(
-                sender=self.org_id,
-                recipient=message.sender,
-                msg_type=MSG_SYNC_REQUEST,
-                body={"txn_ids": missing},
-                size_bytes=64 + 24 * len(missing),
+        if missing:
+            self.network.send(
+                Message(
+                    sender=self.org_id,
+                    recipient=message.sender,
+                    msg_type=MSG_SYNC_REQUEST,
+                    body={"txn_ids": missing},
+                    size_bytes=64 + 24 * len(missing),
+                )
             )
-        )
+        surplus = [
+            self._valid_txn_wire[txn_id]
+            for txn_id in sorted(self._valid_txn_wire)
+            if txn_id not in digest
+        ]
+        if surplus:
+            size = sum(
+                400 + self.perf.per_op_bytes * len(txn["write_set"]) for txn in surplus
+            )
+            self.network.send(
+                Message(
+                    sender=self.org_id,
+                    recipient=message.sender,
+                    msg_type=MSG_GOSSIP,
+                    body={"transactions": surplus},
+                    size_bytes=size,
+                )
+            )
 
     def _handle_sync_request(self, message: Message) -> None:
         batch = [
@@ -545,6 +586,40 @@ class Organization:
                 size_bytes=size,
             )
         )
+
+    # -- crash / recovery (fault injection) ---------------------------------------
+
+    def crash_local_state(self) -> None:
+        """Drop the in-memory state a fail-stop crash would lose.
+
+        The durable pieces (hash-chain log, database, committed wire
+        forms) survive; the gossip backlog is purely in-memory and is
+        lost. Called by the fault layer together with ``Network.crash``.
+        """
+        self.crashed = True
+        self._gossip_backlog.clear()
+
+    def resync(self) -> None:
+        """Announce our digest to every peer after recovering.
+
+        Peers answer a digest push-pull style (see
+        :meth:`_handle_sync_digest`): they request what we have that
+        they lack, and push back what they have that we lack — exactly
+        the rejoin reconciliation an organization needs after a crash.
+        """
+        self.crashed = False
+        self.ledger.rebuild_cache()
+        txn_ids = sorted(self._valid_txn_wire)
+        for target in self.peer_ids:
+            self.network.send(
+                Message(
+                    sender=self.org_id,
+                    recipient=target,
+                    msg_type=MSG_SYNC_DIGEST,
+                    body={"txn_ids": txn_ids},
+                    size_bytes=64 + 24 * len(txn_ids),
+                )
+            )
 
     # -- reads --------------------------------------------------------------------
 

@@ -223,5 +223,28 @@ class OrderlessChainNetwork:
         for org in self.organizations:
             org.ledger.verify_integrity()
 
+    # -- fault injection and invariant checking (docs/FAULTS.md) ------------------
+
+    def install_fault_schedule(self, schedule, tracer=None):
+        """Install a :class:`repro.faults.FaultSchedule` on this network.
+
+        Call before :meth:`run`; returns the
+        :class:`~repro.faults.engine.FaultInjector` (call its
+        ``finalize()`` after the run to close open trace windows).
+        When observability is attached, fault spans default to its
+        recorder.
+        """
+        from repro.faults import install_schedule
+
+        if tracer is None and self.observability is not None:
+            tracer = self.observability.recorder
+        return install_schedule(self, schedule, tracer=tracer)
+
+    def check_invariants(self, schedule=None, quiescent: bool = True):
+        """Run the invariant oracles; returns a ``CheckReport``."""
+        from repro.checkers import run_checkers
+
+        return run_checkers(self, schedule=schedule, quiescent=quiescent)
+
 
 __all__ = ["OrderlessChainNetwork", "OrderlessChainSettings"]

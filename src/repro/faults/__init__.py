@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the simulator.
+
+A :class:`~repro.faults.schedule.FaultSchedule` is a declarative list
+of timed :class:`~repro.faults.schedule.FaultEvent` entries — org
+crashes and recoveries, network partitions and heals, message-loss and
+duplication bursts, slow-node CPU degradation. The
+:class:`~repro.faults.engine.FaultInjector` executes a schedule against
+any of the five simulated systems through a thin
+:class:`~repro.faults.adapters.SystemAdapter`.
+
+Injection is fully deterministic: the schedule itself contains no
+randomness, events are applied at fixed simulated times through
+``Simulator.schedule_at``, and any stochastic consequences (which
+messages a loss burst eats) flow through the network's existing seeded
+RNG stream. Same seed + same schedule = byte-identical run.
+
+See ``docs/FAULTS.md`` for the JSON schema and the checker model.
+"""
+
+from repro.faults.adapters import SystemAdapter, adapter_for, default_node_ids
+from repro.faults.engine import FaultInjector, install_schedule
+from repro.faults.schedule import FaultEvent, FaultSchedule, smoke_schedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "SystemAdapter",
+    "adapter_for",
+    "default_node_ids",
+    "install_schedule",
+    "smoke_schedule",
+]

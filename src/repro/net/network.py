@@ -5,6 +5,24 @@ schedules delivery after a sampled link delay, applying loss,
 duplication, and corruption per the configured fault model. Partitions
 can be installed to exercise the CAP discussion of Section 3.
 
+Partition semantics: a partition is a list of groups; traffic flows
+only within a group. Nodes not listed in *any* group are unconstrained
+(they can reach and be reached by everyone) — this lets a schedule
+split the organizations without accidentally isolating clients or
+orderers that the schedule author did not mention. Connectivity is
+checked both at send time and again at delivery time, so a message
+already in flight when a partition is installed is dropped rather than
+leaking across the cut (and a message sent during a partition cannot
+outlive a heal, because it was dropped at send time).
+
+Crash semantics: ``crash(node_id)`` marks a node down without
+unregistering it. Sends from or to a down node are dropped, and
+messages already in flight *toward* the node are dropped at delivery
+time (the crash loses them). Messages the node sent before crashing
+are already on the wire and still deliver — fail-stop at message
+boundaries. ``recover(node_id)`` brings the node back; state re-sync
+is the protocol layer's job (see ``repro.faults``).
+
 When a tracer is attached (``Network.tracer``, set via the
 ``repro.obs`` layer), every delivered message additionally emits a
 ``net/hop`` span covering its time in flight. Tracing draws no
@@ -55,6 +73,8 @@ class Network:
         self.faults = faults or LinkFaults()
         self._handlers: Dict[str, DeliveryHandler] = {}
         self._partitions: list[Set[str]] = []
+        # Crashed (fail-stop) nodes; see the module docstring.
+        self._down: Set[str] = set()
         # Optional per-link latency overrides (unordered pairs), for
         # multi-datacenter topologies where some links are LAN-fast.
         self._link_latency: Dict[Tuple[str, str], LatencyModel] = {}
@@ -99,22 +119,43 @@ class Network:
             cache[(sender, recipient)] = model
         return model
 
-    # -- partitions -------------------------------------------------------
+    # -- partitions and crashes -------------------------------------------
 
     def partition(self, *groups: Set[str]) -> None:
-        """Split the network: traffic only flows within a group."""
+        """Split the network: traffic only flows within a group.
+
+        Nodes absent from every group are unconstrained. Messages
+        already in flight across the new cut are dropped at delivery
+        time.
+        """
         self._partitions = [set(group) for group in groups]
 
     def heal_partition(self) -> None:
         self._partitions = []
 
+    def crash(self, node_id: str) -> None:
+        """Mark a node fail-stop down; its in-flight inbox is lost."""
+        self._down.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        """Bring a crashed node back (handler registration is kept)."""
+        self._down.discard(node_id)
+
+    def is_down(self, node_id: str) -> bool:
+        return node_id in self._down
+
     def _connected(self, sender: str, recipient: str) -> bool:
         if not self._partitions:
             return True
-        for group in self._partitions:
-            if sender in group and recipient in group:
-                return True
-        return False
+        sender_group = recipient_group = -1
+        for index, group in enumerate(self._partitions):
+            if sender in group:
+                sender_group = index
+            if recipient in group:
+                recipient_group = index
+        if sender_group < 0 or recipient_group < 0:
+            return True  # unlisted nodes are unconstrained
+        return sender_group == recipient_group
 
     # -- sending -----------------------------------------------------------
 
@@ -122,6 +163,9 @@ class Network:
         """Send asynchronously; delivery (if any) happens later."""
         self.sent_count += 1
         if message.recipient not in self._handlers:
+            self.dropped_count += 1
+            return
+        if message.sender in self._down or message.recipient in self._down:
             self.dropped_count += 1
             return
         if not self._connected(message.sender, message.recipient):
@@ -148,6 +192,14 @@ class Network:
 
         def deliver() -> None:
             self.in_flight -= 1
+            # Re-check the world at delivery time: a crash loses the
+            # recipient's in-flight inbox, and a partition installed
+            # while this message was on the wire cuts the link.
+            if message.recipient in self._down or not self._connected(
+                message.sender, message.recipient
+            ):
+                self.dropped_count += 1
+                return
             self.delivered_count += 1
             if self.tracer is not None:
                 self.tracer.span(

@@ -195,6 +195,42 @@ _SPECS: List[MetricSpec] = [
         "s",
         "Commit of one transaction after the synchronous 2-delta wait.",
     ),
+    # -- fault injection (repro.faults.engine.FaultInjector) -----------------------
+    _spec(
+        "fault/injected",
+        INSTANT,
+        "faults.engine.FaultInjector",
+        "-",
+        "One fault event applied from the schedule. attrs: kind.",
+    ),
+    _spec(
+        "fault/crash",
+        SPAN,
+        "faults.engine.FaultInjector",
+        "s",
+        "A node's crash window: fail-stop to recovery (or run end).",
+    ),
+    _spec(
+        "fault/partition",
+        SPAN,
+        "faults.engine.FaultInjector",
+        "s",
+        "A network partition window: cut to heal (or run end).",
+    ),
+    _spec(
+        "fault/loss",
+        SPAN,
+        "faults.engine.FaultInjector",
+        "s",
+        "A message loss/duplication burst window.",
+    ),
+    _spec(
+        "fault/slow",
+        SPAN,
+        "faults.engine.FaultInjector",
+        "s",
+        "A CPU slowdown window on one node. attrs: factor.",
+    ),
     # -- node time-series gauges (sampled by obs.sampler.NodeSampler) --------------
     _spec(
         "node/cpu/utilization",

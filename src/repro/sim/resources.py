@@ -45,6 +45,11 @@ class Resource:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._sim = sim
         self.capacity = capacity
+        # Service-time multiplier for fault injection (slow-node CPU
+        # degradation): ``serve`` and callers that inline the
+        # request/timeout/release pattern scale durations by this.
+        # Changing it affects only services that start afterwards.
+        self.slowdown = 1.0
         self._in_use = 0
         self._queue: deque[Event] = deque()
         # Utilization accounting: integral of in_use over time.
@@ -114,12 +119,16 @@ class Resource:
             self._account()
             self._in_use -= 1
 
+    def service_time(self, duration: float) -> float:
+        """``duration`` scaled by the current slowdown factor."""
+        return duration * self.slowdown
+
     def serve(self, duration: float) -> Generator[Event, Any, None]:
-        """Acquire a slot, hold it for ``duration``, release it."""
+        """Acquire a slot, hold it for ``duration`` (x slowdown), release it."""
         request = self.request()
         yield request
         try:
-            yield self._sim.timeout(duration)
+            yield self._sim.timeout(duration * self.slowdown)
         finally:
             self.release(request)
 

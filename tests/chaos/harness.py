@@ -1,0 +1,81 @@
+"""Shared driver for the chaos tests: build any system, add a small
+workload, run it under a fault schedule, and return the finished net.
+
+The workload is deliberately plain — a handful of clients submitting
+one modify transaction each at staggered times chosen to overlap the
+smoke schedule's crash, partition, and loss windows — so every run
+exercises recovery paths while staying fast enough for tier-1.
+"""
+
+from repro.faults import FaultSchedule, default_node_ids, install_schedule, smoke_schedule
+
+SYSTEMS = ("orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff")
+
+
+def build_system(system: str, seed: int, num_orgs: int = 4, quorum: int = 2):
+    if system == "orderlesschain":
+        from repro.contracts import VotingContract
+        from repro.core import OrderlessChainNetwork, OrderlessChainSettings
+
+        settings = OrderlessChainSettings(num_orgs=num_orgs, quorum=quorum, seed=seed)
+        net = OrderlessChainNetwork(settings)
+        net.install_contract(lambda: VotingContract(parties_per_election=2))
+        return net
+    import repro.baselines as baselines
+
+    class_name = {
+        "fabric": "Fabric",
+        "fabriccrdt": "FabricCRDT",
+        "bidl": "BIDL",
+        "synchotstuff": "SyncHotStuff",
+    }[system]
+    kwargs = {"num_orgs": num_orgs, "app": "voting", "seed": seed}
+    if system in ("fabric", "fabriccrdt"):
+        kwargs["quorum"] = quorum
+    return getattr(baselines, class_name + "Network")(
+        getattr(baselines, class_name + "Settings")(**kwargs)
+    )
+
+
+def add_workload(net, system: str, clients: int = 4):
+    """Staggered single votes, spread across the fault windows."""
+
+    def orderless(client, index, delay):
+        yield net.sim.timeout(delay)
+        yield net.sim.process(
+            client.submit_modify(
+                "voting", "vote", {"party": f"party{index % 2}", "election": "e0"}
+            )
+        )
+
+    def baseline(client, index, delay):
+        yield net.sim.timeout(delay)
+        yield net.sim.process(
+            client.submit_modify(
+                {"voter": client.client_id, "party": f"p{index % 2}", "election": "e0"}
+            )
+        )
+
+    workload = orderless if system == "orderlesschain" else baseline
+    for index in range(clients):
+        client = net.add_client(f"c{index}")
+        net.sim.process(workload(client, index, 0.2 + 2.5 * index))
+
+
+def chaos_run(
+    system: str,
+    seed: int,
+    schedule: FaultSchedule = None,
+    until: float = 60.0,
+    num_orgs: int = 4,
+    clients: int = 4,
+):
+    """One full chaos run; returns ``(net, schedule)`` after the drain."""
+    if schedule is None:
+        schedule = smoke_schedule(default_node_ids(system, num_orgs))
+    net = build_system(system, seed, num_orgs=num_orgs)
+    add_workload(net, system, clients=clients)
+    injector = install_schedule(net, schedule)
+    net.run(until=until)
+    injector.finalize()
+    return net, schedule

@@ -1,0 +1,56 @@
+"""Extended chaos sweeps — run with ``pytest -m chaos``.
+
+Tier-1 keeps the 3-seed smoke; this module is the long tail: more
+seeds, harsher schedules (overlapping windows, slow nodes, heavier
+loss), and the bench-level chaos entry point across every system.
+Excluded from the default run via the ``chaos`` marker.
+"""
+
+import pytest
+
+from repro.checkers import run_checkers
+from repro.faults import FaultEvent, FaultSchedule, default_node_ids
+
+from .harness import SYSTEMS, chaos_run
+
+pytestmark = pytest.mark.chaos
+
+
+def harsh_schedule(node_ids):
+    """Overlapping crash + repeated partitions + loss + slow node."""
+    a, b = node_ids[0], node_ids[1]
+    rest = tuple(node_ids[1:])
+    return FaultSchedule(
+        events=(
+            FaultEvent(at=0.5, kind="slow_node", node=a, duration=4.0, factor=8.0),
+            FaultEvent(at=1.0, kind="crash", node=b),
+            FaultEvent(at=1.5, kind="loss_burst", duration=2.0, loss_probability=0.4),
+            FaultEvent(at=3.0, kind="recover", node=b),
+            FaultEvent(at=3.5, kind="partition", groups=((a,), rest)),
+            FaultEvent(at=5.5, kind="heal"),
+            FaultEvent(at=6.0, kind="partition", groups=((a, b), tuple(node_ids[2:]))),
+            FaultEvent(at=8.0, kind="heal"),
+            FaultEvent(at=8.5, kind="loss_burst", duration=1.5, loss_probability=0.25,
+                       duplicate_probability=0.25),
+        )
+    )
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("seed", range(1, 6))
+def test_harsh_schedule_all_oracles_green(system, seed):
+    schedule = harsh_schedule(default_node_ids(system, 4))
+    net, _ = chaos_run(system, seed, schedule=schedule, until=90.0, clients=6)
+    report = run_checkers(net, schedule=schedule)
+    assert report.ok, "\n" + report.format()
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_bench_chaos_run_reports_green(system):
+    """The bench entry point: schedule installed, oracles attached."""
+    from repro.bench import experiments
+
+    result = experiments.chaos_run(system=system, duration=15.0, seed=1)
+    assert result.check_report is not None
+    assert result.check_report.ok, "\n" + result.check_report.format()
+    assert result.fingerprint

@@ -1,0 +1,200 @@
+"""Merge-semilattice property tests for every CRDT.
+
+The convergence oracle (``repro.checkers``) and the paper's Theorem 8.2
+rest on each CRDT's ``merge`` being a join: commutative, associative,
+and idempotent, and agreeing with direct operation delivery
+(apply/merge equivalence — a replica that received every operation
+directly ends in the same state as replicas that exchanged state).
+These hypothesis tests check all four laws for all five types:
+G-Counter, OR-Set, MV-Register, CRDT Map, and the state-based JSON
+document used by the FabricCRDT baseline.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.crdt import CRDTMap, GCounter, MVRegister, ORSet, OpClock
+from repro.crdt.json_crdt import JSONCRDTDocument
+
+clients = st.sampled_from(["a", "b", "c"])
+scalars = st.one_of(st.integers(min_value=-5, max_value=5), st.text(max_size=3), st.booleans())
+
+
+class Case:
+    """One CRDT type: how to make it, apply one op, and snapshot it."""
+
+    def __init__(self, make, apply_op, snapshot=None):
+        self.make = make
+        self.apply_op = apply_op
+        self.snapshot = snapshot or (lambda crdt: crdt.snapshot())
+
+    def build(self, ops):
+        crdt = self.make()
+        for op in ops:
+            self.apply_op(crdt, op)
+        return crdt
+
+
+# -- per-type operation strategies (unique op identities within a run) --
+
+
+@st.composite
+def gcounter_ops(draw):
+    count = draw(st.integers(min_value=0, max_value=12))
+    return [
+        (draw(st.integers(min_value=0, max_value=50)), f"op{index}")
+        for index in range(count)
+    ]
+
+
+@st.composite
+def mvregister_ops(draw):
+    count = draw(st.integers(min_value=0, max_value=12))
+    ops = []
+    for index in range(count):
+        client = draw(clients)
+        counter = draw(st.integers(min_value=1, max_value=6))
+        ops.append((draw(scalars), OpClock(client, counter), f"{client}#{counter}#{index}"))
+    return ops
+
+
+@st.composite
+def orset_ops(draw):
+    """Adds freely; removes name tags of adds earlier in the history."""
+    count = draw(st.integers(min_value=0, max_value=12))
+    ops = []
+    add_tags = []  # (tag, element)
+    for index in range(count):
+        op_id = f"op{index}"
+        if add_tags and draw(st.booleans()):
+            tag, element = draw(st.sampled_from(add_tags))
+            ops.append(({"remove": element, "tags": [tag]}, op_id))
+        else:
+            element = draw(st.sampled_from(["x", "y", "z"]))
+            ops.append(({"add": element}, op_id))
+            add_tags.append((op_id, element))
+    return ops
+
+
+@st.composite
+def crdtmap_ops(draw):
+    count = draw(st.integers(min_value=0, max_value=12))
+    ops = []
+    for index in range(count):
+        client = draw(clients)
+        counter = draw(st.integers(min_value=1, max_value=6))
+        key = draw(st.sampled_from(["k1", "k2", "k3"]))
+        ops.append((key, draw(scalars), OpClock(client, counter), f"{client}#{counter}#{index}"))
+    return ops
+
+
+@st.composite
+def json_ops(draw):
+    """State-based updates with unique (client, counter) identities."""
+    count = draw(st.integers(min_value=0, max_value=12))
+    ops = []
+    for index in range(count):
+        path = draw(
+            st.lists(st.sampled_from(["p", "q", "r"]), min_size=1, max_size=3)
+        )
+        ops.append((tuple(path), draw(scalars), draw(clients), index + 1))
+    return ops
+
+
+CASES = {
+    "gcounter": Case(
+        GCounter, lambda c, op: c.apply(op[0], None, op[1])
+    ),
+    "orset": Case(
+        ORSet, lambda c, op: c.apply(op[0], None, op[1])
+    ),
+    "mvregister": Case(
+        MVRegister, lambda c, op: c.apply(op[0], op[1], op[2])
+    ),
+    "crdtmap": Case(
+        CRDTMap, lambda c, op: c.insert(op[0], op[1], op[2], op[3])
+    ),
+    "json_crdt": Case(
+        JSONCRDTDocument, lambda c, op: c.update(op[0], op[1], op[2], op[3])
+    ),
+}
+
+OPS = {
+    "gcounter": gcounter_ops(),
+    "orset": orset_ops(),
+    "mvregister": mvregister_ops(),
+    "crdtmap": crdtmap_ops(),
+    "json_crdt": json_ops(),
+}
+
+TYPE_NAMES = sorted(CASES)
+
+
+def _split(ops, labels, parts):
+    groups = [[] for _ in range(parts)]
+    for op, label in zip(ops, labels):
+        groups[label % parts].append(op)
+    return groups
+
+
+@pytest.mark.parametrize("type_name", TYPE_NAMES)
+@settings(deadline=None, max_examples=30)
+@given(data=st.data())
+def test_merge_commutativity(type_name, data):
+    case = CASES[type_name]
+    ops = data.draw(OPS[type_name])
+    labels = data.draw(st.lists(st.integers(0, 1), min_size=len(ops), max_size=len(ops)))
+    part_a, part_b = _split(ops, labels, 2)
+    ab, ba = case.build(part_a), case.build(part_b)
+    ab.merge(case.build(part_b))
+    ba.merge(case.build(part_a))
+    assert case.snapshot(ab) == case.snapshot(ba)
+
+
+@pytest.mark.parametrize("type_name", TYPE_NAMES)
+@settings(deadline=None, max_examples=30)
+@given(data=st.data())
+def test_merge_associativity(type_name, data):
+    case = CASES[type_name]
+    ops = data.draw(OPS[type_name])
+    labels = data.draw(st.lists(st.integers(0, 2), min_size=len(ops), max_size=len(ops)))
+    part_a, part_b, part_c = _split(ops, labels, 3)
+    left = case.build(part_a)  # (a + b) + c
+    middle = case.build(part_b)
+    middle_copy = case.build(part_b)
+    left.merge(middle)
+    left.merge(case.build(part_c))
+    right = case.build(part_a)  # a + (b + c)
+    middle_copy.merge(case.build(part_c))
+    right.merge(middle_copy)
+    assert case.snapshot(left) == case.snapshot(right)
+
+
+@pytest.mark.parametrize("type_name", TYPE_NAMES)
+@settings(deadline=None, max_examples=30)
+@given(data=st.data())
+def test_merge_idempotence(type_name, data):
+    case = CASES[type_name]
+    ops = data.draw(OPS[type_name])
+    once = case.build(ops)
+    baseline = case.snapshot(once)
+    once.merge(case.build(ops))
+    assert case.snapshot(once) == baseline
+    once.merge(case.build(ops))
+    assert case.snapshot(once) == baseline
+
+
+@pytest.mark.parametrize("type_name", TYPE_NAMES)
+@settings(deadline=None, max_examples=30)
+@given(data=st.data())
+def test_apply_merge_equivalence(type_name, data):
+    """Direct delivery of every op == merging replicas that split them."""
+    case = CASES[type_name]
+    ops = data.draw(OPS[type_name])
+    labels = data.draw(st.lists(st.integers(0, 2), min_size=len(ops), max_size=len(ops)))
+    direct = case.build(ops)
+    merged = case.make()
+    for group in _split(ops, labels, 3):
+        merged.merge(case.build(group))
+    assert case.snapshot(merged) == case.snapshot(direct)

@@ -1,0 +1,124 @@
+"""Tests for the declarative fault schedule (validation + wire forms)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultEvent, FaultSchedule, default_node_ids, smoke_schedule
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="meteor")
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ConfigError):
+        FaultEvent(at=-0.5, kind="heal")
+
+
+def test_crash_requires_node():
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="crash")
+
+
+def test_loss_burst_requires_positive_duration():
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="loss_burst", loss_probability=0.5)
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="loss_burst", duration=0.0, loss_probability=0.5)
+
+
+def test_partition_requires_groups():
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="partition")
+
+
+def test_probabilities_validated():
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="loss_burst", duration=1.0, loss_probability=1.5)
+
+
+def test_slow_node_requires_positive_factor():
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="slow_node", node="org0", duration=1.0, factor=0.0)
+
+
+def test_groups_normalize_to_tuples_and_event_is_hashable():
+    event = FaultEvent(at=1.0, kind="partition", groups=[["a"], ["b", "c"]])
+    assert event.groups == (("a",), ("b", "c"))
+    hash(event)  # frozen + normalized: usable in sets and fingerprints
+
+
+def test_schedule_sorts_stably_by_time():
+    heal = FaultEvent(at=5.0, kind="heal")
+    cut = FaultEvent(at=5.0, kind="partition", groups=(("a",), ("b",)))
+    late = FaultEvent(at=9.0, kind="heal")
+    early = FaultEvent(at=1.0, kind="crash", node="a")
+    schedule = FaultSchedule(events=(heal, cut, late, early))
+    assert [e.at for e in schedule] == [1.0, 5.0, 5.0, 9.0]
+    # Same-instant events keep authored order: heal then re-partition.
+    assert list(schedule)[1] is heal
+    assert list(schedule)[2] is cut
+
+
+def test_wire_round_trip():
+    schedule = smoke_schedule(["org0", "org1", "org2", "org3"])
+    again = FaultSchedule.from_json(schedule.to_json())
+    assert again == schedule
+    assert again.to_wire() == schedule.to_wire()
+
+
+def test_from_wire_rejects_unknown_fields():
+    with pytest.raises(ConfigError):
+        FaultEvent.from_wire({"at": 1.0, "kind": "heal", "blast_radius": 3})
+    with pytest.raises(ConfigError):
+        FaultSchedule.from_wire({"schedule": []})
+
+
+def test_from_file_round_trip(tmp_path):
+    schedule = smoke_schedule(["org0", "org1"])
+    path = tmp_path / "schedule.json"
+    path.write_text(schedule.to_json())
+    assert FaultSchedule.from_file(str(path)) == schedule
+
+
+def test_horizon_covers_windowed_faults():
+    schedule = FaultSchedule(
+        events=(
+            FaultEvent(at=1.0, kind="crash", node="a"),
+            FaultEvent(at=2.0, kind="loss_burst", duration=3.0, loss_probability=0.1),
+        )
+    )
+    assert schedule.horizon == 5.0
+
+
+def test_crashed_and_partitioned_at_end():
+    schedule = FaultSchedule(
+        events=(
+            FaultEvent(at=1.0, kind="crash", node="a"),
+            FaultEvent(at=2.0, kind="crash", node="b"),
+            FaultEvent(at=3.0, kind="recover", node="a"),
+            FaultEvent(at=4.0, kind="partition", groups=(("a",), ("b",))),
+        )
+    )
+    assert schedule.crashed_at_end() == frozenset({"b"})
+    assert schedule.partitioned_at_end() is True
+    healed = FaultSchedule(events=schedule.events + (FaultEvent(at=5.0, kind="heal"),))
+    assert healed.partitioned_at_end() is False
+
+
+def test_smoke_schedule_shape():
+    schedule = smoke_schedule(["n0", "n1", "n2"])
+    kinds = [event.kind for event in schedule]
+    assert kinds == ["crash", "recover", "partition", "heal", "loss_burst"]
+    assert schedule.crashed_at_end() == frozenset()
+    assert schedule.partitioned_at_end() is False
+    with pytest.raises(ConfigError):
+        smoke_schedule(["lonely"])
+
+
+def test_default_node_ids():
+    assert default_node_ids("orderlesschain", 3) == ["org0", "org1", "org2"]
+    assert default_node_ids("fabric", 2) == ["peer0", "peer1"]
+    with pytest.raises(ConfigError):
+        default_node_ids("etherchain", 2)

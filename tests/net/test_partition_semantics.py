@@ -1,0 +1,155 @@
+"""Edge-case semantics of partitions and node crashes.
+
+These pin the delivery-time contract documented in
+``repro.net.network``: partitions and crashes are re-checked when a
+message *arrives*, not only when it is sent, so a message in flight
+across a freshly cut partition (or toward a node that crashed while it
+was on the wire) is dropped; nodes in no partition group stay
+unconstrained; and crashing is fail-stop at message boundaries.
+"""
+
+import random
+
+import pytest
+
+from repro.net import LatencyModel, Message, Network
+from repro.sim import Simulator
+
+
+def build(seed=0, delay=0.1):
+    sim = Simulator()
+    network = Network(
+        sim, random.Random(seed), latency=LatencyModel(one_way_delay=delay, jitter_std=0.0)
+    )
+    return sim, network
+
+
+def _msg(sender, recipient, body=None):
+    return Message(sender=sender, recipient=recipient, msg_type="t", body=body)
+
+
+def test_in_flight_message_dropped_by_partition_cut_before_delivery():
+    sim, network = build()
+    received = []
+    network.register("a", lambda m: received.append(m))
+    network.register("b", lambda m: received.append(m))
+    network.send(_msg("a", "b"))  # would deliver at t=0.1
+    sim.schedule_at(0.05, lambda: network.partition({"a"}, {"b"}))
+    sim.run()
+    assert received == []
+    assert network.dropped_count == 1
+
+
+def test_in_flight_message_survives_heal_before_delivery():
+    sim, network = build()
+    received = []
+    network.register("a", lambda m: received.append(m))
+    network.register("b", lambda m: received.append(m))
+    network.partition({"a"}, {"b"})
+    # Healed before any send: traffic flows normally again.
+    sim.schedule_at(0.01, network.heal_partition)
+
+    def send_late():
+        network.send(_msg("a", "b"))
+
+    sim.schedule_at(0.02, send_late)
+    sim.run()
+    assert len(received) == 1
+
+
+def test_nodes_in_no_partition_group_stay_unconstrained():
+    sim, network = build()
+    received = []
+    for node in ("a", "b", "client"):
+        network.register(node, lambda m: received.append((m.sender, m.recipient)))
+    network.partition({"a"}, {"b"})
+    network.send(_msg("client", "a"))
+    network.send(_msg("client", "b"))
+    network.send(_msg("a", "client"))
+    network.send(_msg("a", "b"))  # the only cut pair
+    sim.run()
+    assert sorted(received) == [("a", "client"), ("client", "a"), ("client", "b")]
+    assert network.dropped_count == 1
+
+
+def test_sends_from_crashed_node_are_dropped_including_self_sends():
+    sim, network = build()
+    received = []
+    network.register("a", lambda m: received.append(m))
+    network.register("b", lambda m: received.append(m))
+    network.crash("a")
+    network.send(_msg("a", "b"))
+    network.send(_msg("a", "a"))  # self-send during crash: also dead
+    network.send(_msg("b", "a"))  # toward the crashed node: dead
+    sim.run()
+    assert received == []
+    assert network.dropped_count == 3
+    assert network.is_down("a")
+
+
+def test_message_in_flight_to_node_that_crashes_is_dropped_at_delivery():
+    sim, network = build()
+    received = []
+    network.register("a", lambda m: received.append(m))
+    network.register("b", lambda m: received.append(m))
+    network.send(_msg("a", "b"))  # in flight until t=0.1
+    sim.schedule_at(0.05, lambda: network.crash("b"))
+    sim.run()
+    assert received == []
+    assert network.dropped_count == 1
+
+
+def test_message_from_node_that_crashes_after_send_still_delivers():
+    # Fail-stop at message boundaries: a message already on the wire
+    # FROM a node that subsequently crashes was sent before the crash
+    # and is delivered.
+    sim, network = build()
+    received = []
+    network.register("a", lambda m: received.append(m))
+    network.register("b", lambda m: received.append(m))
+    network.send(_msg("a", "b"))
+    sim.schedule_at(0.05, lambda: network.crash("a"))
+    sim.run()
+    assert len(received) == 1
+
+
+def test_recover_readmits_node():
+    sim, network = build()
+    received = []
+    network.register("a", lambda m: received.append(m))
+    network.register("b", lambda m: received.append(m))
+    network.crash("b")
+    sim.schedule_at(0.05, lambda: network.recover("b"))
+    sim.schedule_at(0.06, lambda: network.send(_msg("a", "b")))
+    sim.run()
+    assert len(received) == 1
+    assert not network.is_down("b")
+
+
+def test_repartition_replaces_previous_groups():
+    sim, network = build()
+    received = []
+    for node in ("a", "b", "c"):
+        network.register(node, lambda m: received.append((m.sender, m.recipient)))
+    network.partition({"a"}, {"b", "c"})
+    network.partition({"a", "b"}, {"c"})  # replaces, not intersects
+    network.send(_msg("a", "b"))  # now connected
+    network.send(_msg("b", "c"))  # now cut
+    sim.run()
+    assert received == [("a", "b")]
+    assert network.dropped_count == 1
+
+
+def test_crash_composes_with_partition_at_delivery_time():
+    sim, network = build()
+    received = []
+    for node in ("a", "b"):
+        network.register(node, lambda m: received.append(m))
+    network.send(_msg("a", "b"))
+    # Both a cut and a crash land while the message is in flight; the
+    # delivery-time check drops it exactly once.
+    sim.schedule_at(0.02, lambda: network.partition({"a"}, {"b"}))
+    sim.schedule_at(0.03, lambda: network.crash("b"))
+    sim.run()
+    assert received == []
+    assert network.dropped_count == 1
