@@ -7,45 +7,21 @@
 2. Gossip interval: the paper gossips every second; longer intervals
    slow full dissemination but leave client-visible latency unchanged
    (commits need only q organizations).
+3. Fabric ordering service: Raft replication adds roughly a WAN round
+   trip of follower acknowledgement per block vs Solo.
+
+Grids, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``, group ``ablations``).
 """
 
-from repro.bench.experiments import ablation_cache, ablation_gossip_interval
-from repro.bench.reporting import format_sweep
+
+def test_ablation_cache(run_spec):
+    run_spec("abl-cache")
 
 
-def test_ablation_cache(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: ablation_cache(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Ablation: CRDT value cache", "cache", results))
-    by_label = dict(results)
-    # Without the cache, reads replay the log: read latency rises.
-    assert (
-        by_label["cache off"].latency_read.avg_ms > 1.2 * by_label["cache on"].latency_read.avg_ms
-    )
+def test_ablation_gossip_interval(run_spec):
+    run_spec("abl-gossip")
 
 
-def test_ablation_gossip_interval(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: ablation_gossip_interval(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Ablation: gossip interval", "period", results))
-    latencies = [r.latency_modify.avg_ms for _, r in results]
-    # Client-visible latency is gossip-independent (commits need only
-    # the q organizations the client contacts directly).
-    assert max(latencies) < 1.5 * min(latencies)
-
-
-def test_ablation_fabric_orderer(benchmark, bench_duration, bench_jobs, emit_report):
-    from repro.bench.experiments import ablation_fabric_orderer
-
-    results = benchmark.pedantic(
-        lambda: ablation_fabric_orderer(duration=bench_duration), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Ablation: Fabric ordering service", "orderer", results))
-    by_label = dict(results)
-    # Raft replication adds roughly a WAN round trip per block.
-    assert (
-        by_label["raft"].latency_modify.avg_ms
-        > by_label["solo"].latency_modify.avg_ms + 50
-    )
+def test_ablation_fabric_orderer(run_spec):
+    run_spec("abl-orderer")

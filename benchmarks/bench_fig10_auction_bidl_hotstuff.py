@@ -1,25 +1,9 @@
-"""E12 — Figure 10(b)/(d): auction vs BIDL and Sync HotStuff."""
+"""E12 — Figure 10(b)/(d): auction vs BIDL and Sync HotStuff.
 
-from repro.bench.experiments import fig10_comparison
-from repro.bench.reporting import format_comparison
+Grid, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``).
+"""
 
 
-def test_fig10_auction(benchmark, bench_duration, bench_jobs, emit_report):
-    series = benchmark.pedantic(
-        lambda: fig10_comparison("auction", duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_comparison("Figure 10(b)/(d): auction application", "rate", series))
-
-    orderless = series["orderlesschain"]
-    bidl = series["bidl"]
-    hotstuff = series["synchotstuff"]
-    top = -1
-
-    orderless_lats = [r.latency_modify.avg_ms for _, r in orderless]
-    assert max(orderless_lats) < 2.5 * min(orderless_lats)
-    assert bidl[top][1].latency_modify.avg_ms > 2.5 * bidl[0][1].latency_modify.avg_ms
-    assert hotstuff[top][1].latency_modify.avg_ms > 2.5 * hotstuff[0][1].latency_modify.avg_ms
-    assert (
-        orderless[top][1].throughput_modify_tps
-        >= max(bidl[top][1].throughput_modify_tps, hotstuff[top][1].throughput_modify_tps)
-    )
+def test_fig10_auction(run_spec):
+    run_spec("fig10-auction")

@@ -5,31 +5,11 @@ scale better than Fabric/FabricCRDT, but OrderlessChain still shows
 higher throughput; BIDL's sequencer/consensus becomes a WAN bottleneck
 and its latency jumps at the top rates; Sync HotStuff's leader is the
 bottleneck; OrderlessChain's latency stays constant.
+
+Grid, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``).
 """
 
-from repro.bench.experiments import fig10_comparison
-from repro.bench.reporting import format_comparison
 
-
-def test_fig10_voting(benchmark, bench_duration, bench_jobs, emit_report):
-    series = benchmark.pedantic(
-        lambda: fig10_comparison("voting", duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_comparison("Figure 10(a)/(c): voting application", "rate", series))
-
-    orderless = series["orderlesschain"]
-    bidl = series["bidl"]
-    hotstuff = series["synchotstuff"]
-    top = -1
-
-    # OrderlessChain's latency stays flat across the whole sweep.
-    orderless_lats = [r.latency_modify.avg_ms for _, r in orderless]
-    assert max(orderless_lats) < 2.5 * min(orderless_lats)
-    # BIDL and Sync HotStuff blow up at their consensus knees.
-    assert bidl[top][1].latency_modify.avg_ms > 2.5 * bidl[0][1].latency_modify.avg_ms
-    assert hotstuff[top][1].latency_modify.avg_ms > 2.5 * hotstuff[0][1].latency_modify.avg_ms
-    # OrderlessChain keeps up with the offered load at the top rate.
-    assert (
-        orderless[top][1].throughput_modify_tps
-        >= max(bidl[top][1].throughput_modify_tps, hotstuff[top][1].throughput_modify_tps)
-    )
+def test_fig10_voting(run_spec):
+    run_spec("fig10-voting")

@@ -5,61 +5,27 @@ operations per object, independent of CRDT type, unaffected by the
 read/modify mix, essentially unchanged under a normally distributed
 load (except slightly higher latency at hot organizations), and
 insensitive to the gossip ratio.
+
+Grids, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``, group ``fig6text``).
 """
 
-from repro.bench.experiments import (
-    text_config_crdt_type,
-    text_config_gossip_ratio,
-    text_config_ops_per_object,
-    text_config_workload_mix,
-    text_config_workload_skew,
-)
-from repro.bench.reporting import format_sweep
+
+def test_config5_ops_per_object(run_spec):
+    run_spec("fig6t-ops")
 
 
-def _flat(latencies, tolerance):
-    return max(latencies) < tolerance * min(latencies)
+def test_config6_crdt_type(run_spec):
+    run_spec("fig6t-crdt")
 
 
-def test_config5_ops_per_object(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: text_config_ops_per_object(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Config 5: operations per object", "ops", results))
-    assert _flat([r.latency_modify.avg_ms for _, r in results], 1.6)
+def test_config7_workload_mix(run_spec):
+    run_spec("fig6t-mix")
 
 
-def test_config6_crdt_type(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: text_config_crdt_type(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Config 6: CRDT type", "type", results))
-    assert _flat([r.latency_modify.avg_ms for _, r in results], 1.5)
-    assert _flat([r.throughput_tps for _, r in results], 1.2)
+def test_config8_workload_skew(run_spec):
+    run_spec("fig6t-skew")
 
 
-def test_config7_workload_mix(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: text_config_workload_mix(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Config 7: read/modify mix", "mix", results))
-    assert _flat([r.throughput_tps for _, r in results], 1.25)
-
-
-def test_config8_workload_skew(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: text_config_workload_skew(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Config 8: load distribution per org", "dist", results))
-    latencies = [r.latency_modify.avg_ms for _, r in results]
-    # No significant difference between uniform and skewed load.
-    assert _flat(latencies, 1.5)
-
-
-def test_config9_gossip_ratio(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: text_config_gossip_ratio(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Config 9: gossip ratio", "fanout", results))
-    assert _flat([r.latency_modify.avg_ms for _, r in results], 1.5)
-    assert _flat([r.throughput_tps for _, r in results], 1.2)
+def test_config9_gossip_ratio(run_spec):
+    run_spec("fig6t-gossip")

@@ -2,23 +2,12 @@
 
 Paper claim: "the throughput increases with an increasing transaction
 arrival rate, but the latency rises."
+
+Grid, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``); ``python -m repro report`` regenerates the
+matching EXPERIMENTS.md section from the same definitions.
 """
 
-from repro.bench.experiments import fig6a_arrival_rate
-from repro.bench.reporting import format_sweep
 
-
-def test_fig6a_arrival_rate(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: fig6a_arrival_rate(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Figure 6(a): transaction arrival rate", "rate", results))
-
-    rates = [rate for rate, _ in results]
-    throughputs = [r.throughput_tps for _, r in results]
-    latencies = [r.latency_modify.avg_ms for _, r in results]
-    # Throughput tracks the arrival rate across the sweep...
-    assert throughputs[-1] > 2.5 * throughputs[0]
-    assert throughputs[-1] > 0.6 * rates[-1]
-    # ...while latency rises with load.
-    assert latencies[-1] > latencies[0]
+def test_fig6a_arrival_rate(run_spec):
+    run_spec("fig6a")

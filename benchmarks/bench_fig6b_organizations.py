@@ -2,20 +2,11 @@
 
 Paper claim: "the system scales for increasing organizations without
 affecting the throughput and latency" (EP {4 of n}).
+
+Grid, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``).
 """
 
-from repro.bench.experiments import fig6b_organizations
-from repro.bench.reporting import format_sweep
 
-
-def test_fig6b_organizations(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: fig6b_organizations(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Figure 6(b): number of organizations", "orgs", results))
-
-    throughputs = [r.throughput_tps for _, r in results]
-    latencies = [r.latency_modify.avg_ms for _, r in results]
-    # Flat throughput and latency from 8 to 32 organizations.
-    assert max(throughputs) < 1.2 * min(throughputs)
-    assert max(latencies) < 1.5 * min(latencies)
+def test_fig6b_organizations(run_spec):
+    run_spec("fig6b")

@@ -4,20 +4,11 @@ Paper claim: "with an increasing number of organizations required by
 the endorsement policy, we observe that the latency increases as the
 load on the organization increases" — and throughput degrades at the
 largest quorums.
+
+Grid, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``).
 """
 
-from repro.bench.experiments import fig6c_endorsement_policy
-from repro.bench.reporting import format_sweep
 
-
-def test_fig6c_endorsement_policy(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: fig6c_endorsement_policy(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Figure 6(c): endorsement policy {q of 16}", "EP", results))
-
-    latencies = [r.latency_modify.avg_ms for _, r in results]
-    throughputs = [r.throughput_tps for _, r in results]
-    # Latency at {16 of 16} far exceeds {2 of 16}; throughput degrades.
-    assert latencies[-1] > 2.0 * latencies[0]
-    assert throughputs[-1] < 0.95 * throughputs[0]
+def test_fig6c_endorsement_policy(run_spec):
+    run_spec("fig6c")

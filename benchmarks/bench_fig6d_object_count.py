@@ -3,18 +3,11 @@
 Paper claim: "the latency increases for a larger number of objects in
 the transaction due to the locking mechanism used in the cache to
 avoid concurrent reads and writes."
+
+Grid, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``).
 """
 
-from repro.bench.experiments import fig6d_object_count
-from repro.bench.reporting import format_sweep
 
-
-def test_fig6d_object_count(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: fig6d_object_count(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_sweep("Figure 6(d): objects per transaction", "objects", results))
-
-    latencies = [r.latency_modify.avg_ms for _, r in results]
-    # Cache-lock contention: modify latency grows with object count.
-    assert latencies[-1] > 1.5 * latencies[0]
+def test_fig6d_object_count(run_spec):
+    run_spec("fig6d")

@@ -4,27 +4,11 @@ Paper claim: "we also compared the average latency to throughput for
 an increasing number of organizations and arrival rates and observed
 that OrderlessChain scales" — the latency-throughput curves stay low
 and flat for all three network sizes.
+
+Grid, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``).
 """
 
-from repro.bench.experiments import fig7_latency_vs_throughput
-from repro.bench.reporting import format_comparison
 
-
-def test_fig7_latency_vs_throughput(benchmark, bench_duration, bench_jobs, emit_report):
-    series = benchmark.pedantic(
-        lambda: fig7_latency_vs_throughput(
-            duration=bench_duration, jobs=bench_jobs, rates=[1000, 3000, 5000, 8000, 10000]
-        ),
-        rounds=1,
-        iterations=1,
-    )
-    emit_report(
-        format_comparison("Figure 7: latency vs throughput (16/24/32 orgs)", "rate", series)
-    )
-    for name, points in series.items():
-        throughputs = [r.throughput_tps for _, r in points]
-        latencies = [r.latency_modify.avg_ms for _, r in points]
-        # Throughput scales with offered load for every network size...
-        assert throughputs[-1] > 3 * throughputs[0], name
-        # ...and average latency stays in the sub-second regime.
-        assert max(latencies) < 1500, name
+def test_fig7_latency_vs_throughput(run_spec):
+    run_spec("fig7")

@@ -5,41 +5,15 @@ clients, "all faulty transactions are rejected while the latency is
 unaffected, showing the system stays safe and live"; combining three
 Byzantine organizations with Byzantine clients decreases throughput
 without affecting latency.
+
+Grids, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``, group ``fig8text``).
 """
 
-import math
 
-from repro.bench.experiments import fig8_text_byzantine_clients
-from repro.bench.reporting import format_sweep
-
-
-def test_byzantine_clients_only(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: fig8_text_byzantine_clients(duration=bench_duration, jobs=bench_jobs),
-        rounds=1,
-        iterations=1,
-    )
-    emit_report(format_sweep("Byzantine clients (orgs honest)", "frac", results))
-    for fraction, result in results:
-        # Every Byzantine transaction fails (safety holds)...
-        assert result.failed > 0
-        # ...and honest clients' latency stays in the normal band.
-        if fraction != "100%":
-            assert result.committed > 0
-            assert result.latency_modify.avg_ms < 1000
+def test_byzantine_clients_only(run_spec):
+    run_spec("fig8t-clients")
 
 
-def test_byzantine_clients_and_orgs_combined(benchmark, bench_duration, bench_jobs, emit_report):
-    results = benchmark.pedantic(
-        lambda: fig8_text_byzantine_clients(
-            duration=bench_duration, jobs=bench_jobs, with_byzantine_orgs=True, fractions=[0.5]
-        ),
-        rounds=1,
-        iterations=1,
-    )
-    emit_report(format_sweep("Byzantine clients + 3 Byzantine orgs", "frac", results))
-    _, result = results[0]
-    # Throughput decreases but the system stays safe and live: honest
-    # transactions still commit, faulty ones are rejected/fail.
-    assert result.committed > 0
-    assert result.failed > 0
+def test_byzantine_clients_and_orgs_combined(run_spec):
+    run_spec("fig8t-combined")

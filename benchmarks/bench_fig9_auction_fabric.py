@@ -2,28 +2,11 @@
 
 Same grid as E9 on the auction application: contended highest-bid keys
 fail MVCC on Fabric, FabricCRDT merges grow, OrderlessChain stays flat.
+
+Grid, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``).
 """
 
-from repro.bench.experiments import fig9_comparison
-from repro.bench.reporting import format_comparison
 
-
-def test_fig9_auction(benchmark, bench_duration, bench_jobs, emit_report):
-    series = benchmark.pedantic(
-        lambda: fig9_comparison("auction", duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_comparison("Figure 9(b)/(d): auction application", "rate", series))
-
-    orderless = series["orderlesschain"]
-    fabric = series["fabric"]
-    fabriccrdt = series["fabriccrdt"]
-    top = -1
-
-    assert (
-        orderless[top][1].throughput_modify_tps > 3 * fabric[top][1].throughput_modify_tps
-    )
-    assert fabric[top][1].failure_reasons.get("mvcc conflict", 0) > 0
-    orderless_lats = [r.latency_modify.avg_ms for _, r in orderless]
-    assert max(orderless_lats) < 2.5 * min(orderless_lats)
-    assert fabric[top][1].latency_modify.avg_ms > 4 * fabric[0][1].latency_modify.avg_ms
-    assert fabriccrdt[top][1].latency_modify.avg_ms > 4 * orderless[top][1].latency_modify.avg_ms
+def test_fig9_auction(run_spec):
+    run_spec("fig9-auction")

@@ -5,36 +5,11 @@ higher throughput for the voting application; Fabric's modify
 throughput collapses under MVCC-validation failures; Fabric's latency
 explodes as its ordering service saturates; FabricCRDT's CRDT merge is
 a bottleneck; OrderlessChain's latency remains constant.
+
+Grid, prose, and shape checks live in the experiment catalog
+(``repro.report.catalog``).
 """
 
-from repro.bench.experiments import fig9_comparison
-from repro.bench.reporting import format_comparison
 
-
-def test_fig9_voting(benchmark, bench_duration, bench_jobs, emit_report):
-    series = benchmark.pedantic(
-        lambda: fig9_comparison("voting", duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    emit_report(format_comparison("Figure 9(a)/(c): voting application", "rate", series))
-
-    orderless = series["orderlesschain"]
-    fabric = series["fabric"]
-    fabriccrdt = series["fabriccrdt"]
-
-    # OrderlessChain commits more modify transactions at the top rate.
-    top = -1
-    assert (
-        orderless[top][1].throughput_modify_tps > 3 * fabric[top][1].throughput_modify_tps
-    )
-    assert (
-        orderless[top][1].throughput_modify_tps > 1.5 * fabriccrdt[top][1].throughput_modify_tps
-    )
-    # Fabric fails most contended votes (the paper's up-to-90% figure).
-    fabric_top = fabric[top][1]
-    assert fabric_top.failure_reasons.get("mvcc conflict", 0) > fabric_top.committed / 4
-    # OrderlessChain's latency stays flat; Fabric's explodes.
-    orderless_lats = [r.latency_modify.avg_ms for _, r in orderless]
-    assert max(orderless_lats) < 2.5 * min(orderless_lats)
-    assert fabric[top][1].latency_modify.avg_ms > 4 * fabric[0][1].latency_modify.avg_ms
-    # FabricCRDT's merge cost drives latency far above OrderlessChain.
-    assert fabriccrdt[top][1].latency_modify.avg_ms > 4 * orderless[top][1].latency_modify.avg_ms
+def test_fig9_voting(run_spec):
+    run_spec("fig9-voting")

@@ -7,57 +7,19 @@ consensus ~5.5 s / commit 6 ms at 4000 tps. The defining *shape*:
 coordination (consensus/ordering) dominates end-to-end time on every
 coordination-based system, while OrderlessChain's two phases are both
 small and of the same order.
+
+Prose and shape checks live in the experiment catalog
+(``repro.report.catalog``).
 """
 
-from repro.bench.experiments import table3_breakdown
-from repro.bench.reporting import format_breakdown
+
+def test_table3_breakdown(run_spec):
+    run_spec("table3")
 
 
-def test_table3_breakdown(benchmark, bench_duration, bench_jobs, emit_report):
-    rows = benchmark.pedantic(
-        lambda: table3_breakdown(duration=bench_duration, jobs=bench_jobs), rounds=1, iterations=1
-    )
-    for system, phases in rows.items():
-        emit_report(format_breakdown(f"Table 3 - {system}", phases))
-
-    orderless = rows["orderlesschain"]
-    fabric = rows["fabric"]
-    bidl = rows["bidl"]
-    hotstuff = rows["synchotstuff"]
-
-    # OrderlessChain: both phases are small (well under a second).
-    assert orderless["orderlesschain/P1/Execution"] < 500
-    assert orderless["orderlesschain/P2/Commit"] < 500
-    # Fabric: consensus dwarfs endorsement and commit by >10x.
-    assert fabric["fabric/P2/Consensus"] > 10 * fabric["fabric/P1/Endorse"]
-    assert fabric["fabric/P2/Consensus"] > 10 * fabric["fabric/P3/Commit"]
-    # Fabric's consensus dwarfs OrderlessChain's entire pipeline.
-    orderless_total = (
-        orderless["orderlesschain/P1/Execution"] + orderless["orderlesschain/P2/Commit"]
-    )
-    assert fabric["fabric/P2/Consensus"] > 10 * orderless_total
-    # BIDL: consensus dominates sequencing and execution.
-    assert bidl["bidl/P2/Consensus"] > bidl["bidl/P1/Sequence"]
-    assert bidl["bidl/P2/Consensus"] > bidl["bidl/P3/Execution"]
-    # Sync HotStuff: consensus dominates commit by orders of magnitude.
-    assert hotstuff["hotstuff/P1/Consensus"] > 10 * hotstuff["hotstuff/P2/Commit"]
-
-
-def test_resource_utilization_comparison(benchmark, bench_duration, bench_jobs, emit_report):
+def test_resource_utilization_comparison(run_spec):
     """Section 9 text: OrderlessChain organizations utilize more CPU
     than Fabric organizations at the same load (paper: ~50 % vs ~30 %
     at 2500 tps voting), attributed to applying CRDT operations to the
     cache; the serialized cache section bounds the extra utilization."""
-    from repro.bench.experiments import resource_utilization_comparison
-
-    utilizations = benchmark.pedantic(
-        lambda: resource_utilization_comparison(duration=bench_duration, jobs=bench_jobs),
-        rounds=1,
-        iterations=1,
-    )
-    lines = ["== CPU utilization at 2500 tps (voting) =="]
-    for system, utilization in utilizations.items():
-        lines.append(f"  {system:<16} {100 * utilization:5.1f} %")
-    emit_report("\n".join(lines))
-    assert utilizations["orderlesschain"] > 1.3 * utilizations["fabric"]
-    assert utilizations["orderlesschain"] < 0.9  # bounded, not saturated
+    run_spec("resource-util")

@@ -45,6 +45,35 @@ def emit_report():
     return emit
 
 
+@pytest.fixture
+def run_spec(benchmark, bench_duration, bench_jobs, emit_report):
+    """Run one catalog experiment the way ``repro report`` would.
+
+    Benchmarks are thin shells over the spec catalog
+    (``repro.report.catalog``): the fixture runs the spec's full grid
+    at the bench duration, prints its markdown table, and asserts the
+    spec's registered shape checks — the same checks that decide the
+    generated EXPERIMENTS.md verdicts.
+    """
+    from repro.report import assert_records, get_spec
+    from repro.report.render import render_table
+
+    def run(spec_id: str, duration: float = None, **extra_overrides):
+        spec = get_spec(spec_id)
+        overrides = {"duration": bench_duration if duration is None else duration}
+        overrides.update(extra_overrides)
+        records = benchmark.pedantic(
+            lambda: spec.run(jobs=bench_jobs, overrides=overrides),
+            rounds=1,
+            iterations=1,
+        )
+        emit_report(f"== {spec.section_title} ==\n\n" + render_table(spec, records))
+        assert_records(spec, records, overrides=overrides)
+        return records
+
+    return run
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if _REPORT_LINES:
         terminalreporter.section("reproduced figures and tables")

@@ -35,12 +35,19 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import time
 from typing import Any, Callable, Dict, Optional
 
+from repro.report.envinfo import environment_info
+
 DEFAULT_REPORT_PATH = "BENCH_perf.json"
-SCHEMA_VERSION = 1
+
+# Schema 2 moved the volatile environment blocks (host, python,
+# timestamp) out of ``baseline``/``current`` into one top-level
+# ``environment`` key, so the measurement payload diffs cleanly —
+# the same environment/measurement split ``experiments.json`` uses
+# (see repro.report.envinfo and docs/REPORT.md).
+SCHEMA_VERSION = 2
 
 
 def _timed(work: Callable[[], int]) -> Dict[str, Any]:
@@ -300,12 +307,28 @@ def run_perfbench(smoke: bool = False) -> Dict[str, Any]:
     return results
 
 
-def environment_info() -> Dict[str, str]:
-    return {
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+def _load_existing(path: str) -> Dict[str, Any]:
+    """Read an existing report, migrating schema 1 in memory.
+
+    Schema 1 embedded an ``environment`` block (with its wall-clock
+    timestamp) inside both ``baseline`` and ``current``; schema 2
+    hoists them to a top-level ``environment: {baseline, current}`` so
+    everything below ``baseline``/``current`` is a pure measurement.
+    """
+    if not os.path.exists(path):
+        return {}
+    with open(path) as handle:
+        existing = json.load(handle)
+    if existing.get("schema") == SCHEMA_VERSION:
+        return existing
+    environment = {}
+    for side in ("baseline", "current"):
+        block = existing.get(side) or {}
+        if "environment" in block:
+            environment[side] = block.pop("environment")
+    existing["environment"] = environment
+    existing["schema"] = SCHEMA_VERSION
+    return existing
 
 
 def merge_report(
@@ -317,14 +340,16 @@ def merge_report(
 
     The first run (or ``rebaseline=True``) records itself as the
     baseline; afterwards the baseline is preserved so later runs
-    measure against the same fixed point.
+    measure against the same fixed point. Schema-1 files are migrated
+    on the way through.
     """
-    current = {"environment": environment_info(), "results": results}
-    existing: Dict[str, Any] = {}
-    if not rebaseline and os.path.exists(path):
-        with open(path) as handle:
-            existing = json.load(handle)
+    existing: Dict[str, Any] = {} if rebaseline else _load_existing(path)
+    current = {"results": results}
+    current_environment = environment_info()
     baseline = existing.get("baseline") or current
+    baseline_environment = (
+        existing.get("environment", {}).get("baseline") or current_environment
+    )
     speedups = {}
     for name, record in results.items():
         base = baseline.get("results", {}).get(name)
@@ -332,6 +357,10 @@ def merge_report(
             speedups[name] = round(record["per_sec"] / base["per_sec"], 3)
     report = {
         "schema": SCHEMA_VERSION,
+        "environment": {
+            "baseline": baseline_environment,
+            "current": current_environment,
+        },
         "baseline": baseline,
         "current": current,
         "speedup_vs_baseline": speedups,

@@ -7,6 +7,8 @@ Usage::
     python -m repro run table3
     python -m repro run fig9 --app auction
     python -m repro trace --system orderlesschain --trace-out trace.json
+    python -m repro report --quick --jobs 2
+    python -m repro report --quick --check
     python -m repro check-iconfluence voting
 """
 
@@ -299,6 +301,42 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    """Regenerate (or drift-check) EXPERIMENTS.md from the catalog.
+
+    See docs/REPORT.md. ``--figures`` takes spec ids or groups from
+    ``repro.report.catalog``; everything else is cached, rendered, and
+    checked per the pipeline's contract.
+    """
+    from pathlib import Path
+
+    from repro.report.pipeline import run_report
+
+    collector = None
+    if args.trace_out:
+        from repro.obs.trace import TraceCollector
+
+        collector = TraceCollector()
+    figures = [name for entry in args.figures or [] for name in entry.split(",") if name]
+    outcome = run_report(
+        figures=figures,
+        jobs=args.jobs,
+        quick=args.quick,
+        check=args.check,
+        experiments_md=Path(args.experiments_md),
+        manifest_path=Path(args.manifest),
+        cache_dir=Path(args.cache_dir),
+        out_dir=Path(args.out_dir),
+        collector=collector,
+    )
+    if collector is not None:
+        from repro.obs.chrome import write_chrome_trace
+
+        payload = write_chrome_trace(collector, args.trace_out)
+        print(f"wrote {args.trace_out} ({len(payload['traceEvents'])} events)")
+    return outcome.exit_code
+
+
 def _cmd_check_iconfluence(args) -> int:
     from repro.contracts import AuctionContract, VotingContract
     from repro.tools import check_iconfluence
@@ -425,6 +463,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--trace-out", default="trace.json", help="chrome trace output path")
     trace.add_argument("--metrics-out", default=None, help="also write metrics summary as JSON")
     trace.set_defaults(func=_cmd_trace)
+
+    report = subparsers.add_parser(
+        "report",
+        help="regenerate EXPERIMENTS.md + experiments.json from the experiment catalog",
+    )
+    report.add_argument(
+        "--figures",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="spec ids or groups (e.g. fig6a fig9; comma-separated also works); default: all",
+    )
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per sweep (default: REPRO_BENCH_JOBS or 1)",
+    )
+    report.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced grids and durations (minutes instead of hours)",
+    )
+    report.add_argument(
+        "--check",
+        action="store_true",
+        help="write nothing; exit 1 if fresh results drift from the committed files",
+    )
+    report.add_argument("--experiments-md", default="EXPERIMENTS.md", help="generated document path")
+    report.add_argument("--manifest", default="experiments.json", help="manifest output path")
+    report.add_argument(
+        "--cache-dir",
+        default=".repro-report-cache",
+        help="resumable result-cache directory (delete to force a rerun)",
+    )
+    report.add_argument("--out-dir", default="results/report", help="per-figure CSV directory")
+    report.add_argument(
+        "--trace-out",
+        default=None,
+        help="also write a chrome trace of the pipeline run itself",
+    )
+    report.set_defaults(func=_cmd_report)
 
     check = subparsers.add_parser(
         "check-iconfluence", help="empirically check a demo contract's I-confluence"

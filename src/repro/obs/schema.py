@@ -231,6 +231,25 @@ _SPECS: List[MetricSpec] = [
         "s",
         "A CPU slowdown window on one node. attrs: factor.",
     ),
+    # -- report pipeline (repro.report.pipeline) -----------------------------------
+    # These are the only spans measured in *wall* seconds: they time the
+    # report pipeline itself (the harness), not the simulation.
+    _spec(
+        "report/experiment",
+        SPAN,
+        "report.pipeline.run_report",
+        "s (wall)",
+        "One catalog experiment through the report pipeline: cache "
+        "lookup, run on miss, store. attrs: spec_id, cached (bool).",
+    ),
+    _spec(
+        "report/render",
+        SPAN,
+        "report.pipeline.run_report",
+        "s (wall)",
+        "Rendering/diffing every selected section plus manifest and CSV "
+        "output. attrs: check (bool), sections (count).",
+    ),
     # -- node time-series gauges (sampled by obs.sampler.NodeSampler) --------------
     _spec(
         "node/cpu/utilization",

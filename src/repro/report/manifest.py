@@ -1,0 +1,117 @@
+"""The machine-readable run manifest (``experiments.json``).
+
+One manifest records everything a reader needs to audit a report run
+without re-running it: which specs ran at which hashes and parameters,
+the check outcomes and verdicts, and the full result records. The
+single volatile part — who/where/when — is confined to the top-level
+``environment`` block (:mod:`repro.report.envinfo`), so two runs of
+the same specs agree byte-for-byte on everything else; ``--check``
+compares manifests with :func:`manifests_differ`, which ignores that
+block.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.bench.config import default_scale
+from repro.report.checks import CheckOutcome, verdict
+from repro.report.envinfo import environment_info, strip_environment
+from repro.report.spec import ExperimentSpec
+
+MANIFEST_SCHEMA = 1
+
+
+def manifest_entry(
+    spec: ExperimentSpec,
+    spec_hash: str,
+    params: Mapping[str, Any],
+    records: Any,
+    outcomes: Sequence[CheckOutcome],
+    cached: bool,
+) -> Dict[str, Any]:
+    """One experiment's manifest entry (JSON-ready, environment-free)."""
+    return {
+        "title": spec.section_title,
+        "kind": spec.kind,
+        "runner": spec.runner,
+        "spec_hash": spec_hash,
+        "params": dict(params),
+        "cached": cached,
+        "checks": [outcome.to_wire() for outcome in outcomes],
+        "verdict": verdict(outcomes),
+        "records": records,
+    }
+
+
+def build_manifest(
+    entries: Mapping[str, Dict[str, Any]], quick: bool
+) -> Dict[str, Any]:
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "quick": quick,
+        "scale": default_scale(),
+        "environment": environment_info(),
+        "experiments": dict(entries),
+    }
+
+
+def write_manifest(path: Path, manifest: Mapping[str, Any]) -> None:
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+
+
+def load_manifest(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def manifests_differ(
+    committed: Optional[Mapping[str, Any]],
+    fresh: Mapping[str, Any],
+    spec_ids: Sequence[str],
+) -> List[str]:
+    """Drift between two manifests, restricted to ``spec_ids``.
+
+    Compares each selected experiment entry minus its volatile
+    ``cached`` flag (a cache hit is not drift), and the comparable
+    top-level fields — everything except the ``environment`` block.
+    Returns human-readable drift descriptions (empty = no drift).
+    """
+    drifts: List[str] = []
+    if committed is None:
+        return [f"committed manifest missing or unreadable"]
+    committed_cmp = strip_environment(dict(committed))
+    fresh_cmp = strip_environment(dict(fresh))
+    for field in ("schema", "quick", "scale"):
+        if committed_cmp.get(field) != fresh_cmp.get(field):
+            drifts.append(
+                f"manifest {field}: committed {committed_cmp.get(field)!r} "
+                f"vs fresh {fresh_cmp.get(field)!r}"
+            )
+    committed_experiments = committed_cmp.get("experiments", {})
+    fresh_experiments = fresh_cmp.get("experiments", {})
+    for spec_id in spec_ids:
+        if spec_id not in committed_experiments:
+            drifts.append(f"{spec_id}: missing from committed manifest")
+            continue
+        old = {k: v for k, v in committed_experiments[spec_id].items() if k != "cached"}
+        new = {k: v for k, v in fresh_experiments[spec_id].items() if k != "cached"}
+        if old != new:
+            changed = [key for key in sorted(set(old) | set(new)) if old.get(key) != new.get(key)]
+            drifts.append(f"{spec_id}: manifest entry differs ({', '.join(changed)})")
+    return drifts
+
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "load_manifest",
+    "manifest_entry",
+    "manifests_differ",
+    "write_manifest",
+]

@@ -1,0 +1,185 @@
+"""Docs gate: every link resolves, every documented command parses.
+
+``python -m repro.tools.check_docs`` scans README.md, DESIGN.md,
+EXPERIMENTS.md, and ``docs/*.md`` and fails (exit 1) when:
+
+* a relative markdown link points at a file that does not exist;
+* a fenced ``python -m repro ...`` command line does not parse against
+  the real CLI (:func:`repro.cli.build_parser`);
+* a fenced ``python -m repro.x.y`` module or ``python path/to.py``
+  script does not exist;
+* a fenced ``pytest <path>`` path does not exist.
+
+Placeholder lines (containing ``<``/``>``) and external links are
+skipped. The gate runs in CI (the ``docs`` job) so a renamed module,
+dropped flag, or moved document breaks the build instead of quietly
+rotting the documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import importlib.util
+import io
+import re
+import shlex
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+# Relative markdown link targets: [text](target).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+_ENV_ASSIGN_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+DEFAULT_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+
+
+def markdown_files(root: Path) -> List[Path]:
+    files = [root / name for name in DEFAULT_DOCS if (root / name).exists()]
+    files += sorted((root / "docs").glob("*.md"))
+    return files
+
+
+def check_links(path: Path, text: str) -> List[str]:
+    """Every relative link target must exist on disk."""
+    errors = []
+    for line_no, line in enumerate(text.splitlines(), 1):
+        for target in _LINK_RE.findall(line):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                errors.append(f"{path}:{line_no}: broken link -> {target}")
+    return errors
+
+
+def fenced_command_lines(text: str) -> Iterator[Tuple[int, str]]:
+    """Logical command lines inside fenced code blocks.
+
+    Joins backslash continuations and strips trailing ``#`` comments,
+    yielding (first line number, command text).
+    """
+    in_fence = False
+    pending: List[str] = []
+    pending_start = 0
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        if _FENCE_RE.match(raw):
+            in_fence = not in_fence
+            pending = []
+            continue
+        if not in_fence:
+            continue
+        stripped = raw.strip()
+        if pending:
+            pending.append(stripped.rstrip("\\").strip())
+            if not stripped.endswith("\\"):
+                yield pending_start, " ".join(pending)
+                pending = []
+            continue
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.endswith("\\"):
+            pending = [stripped.rstrip("\\").strip()]
+            pending_start = line_no
+            continue
+        yield line_no, stripped
+
+
+def _parse_repro_args(args: List[str]) -> str:
+    """Parse against the real CLI; return an error string or ''."""
+    from repro.cli import build_parser
+
+    stderr = io.StringIO()
+    try:
+        with contextlib.redirect_stderr(stderr):
+            build_parser().parse_args(args)
+    except SystemExit as exc:
+        if exc.code not in (0, None):
+            detail = stderr.getvalue().strip().splitlines()
+            return detail[-1] if detail else f"exit {exc.code}"
+    return ""
+
+
+def check_command(root: Path, command: str) -> str:
+    """One fenced command line; return an error string or ''."""
+    if "<" in command or ">" in command:
+        return ""  # placeholder or redirection — not checkable
+    command = re.sub(r"\s#.*$", "", command)
+    try:
+        tokens = shlex.split(command)
+    except ValueError:
+        return "unparseable shell line"
+    if tokens and tokens[0] == "$":
+        tokens = tokens[1:]
+    while tokens and _ENV_ASSIGN_RE.match(tokens[0]):
+        tokens = tokens[1:]
+    if not tokens:
+        return ""
+    program, args = tokens[0], tokens[1:]
+    if program in ("python", "python3"):
+        if not args:
+            return ""
+        if args[0] == "-m" and len(args) > 1:
+            module, module_args = args[1], args[2:]
+            if module == "repro":
+                return _parse_repro_args(module_args)
+            if module.startswith("repro"):
+                if importlib.util.find_spec(module) is None:
+                    return f"module {module} not found"
+                return ""
+            return ""  # third-party module (pytest, pip, ...)
+        if args[0].endswith(".py") and not (root / args[0]).exists():
+            return f"script {args[0]} not found"
+        return ""
+    if program == "pytest":
+        for arg in args:
+            if arg.startswith("-"):
+                continue
+            path = arg.split("::", 1)[0]
+            if "/" in path or path.endswith(".py"):
+                if not (root / path).exists():
+                    return f"pytest path {path} not found"
+        return ""
+    return ""  # pip, git, etc. — out of scope
+
+
+def check_file(root: Path, path: Path) -> List[str]:
+    text = path.read_text()
+    errors = check_links(path, text)
+    for line_no, command in fenced_command_lines(text):
+        problem = check_command(root, command)
+        if problem:
+            errors.append(f"{path}:{line_no}: bad command `{command}`: {problem}")
+    return errors
+
+
+def check_docs(root: Path) -> List[str]:
+    errors: List[str] = []
+    for path in markdown_files(root):
+        errors.extend(check_file(root, path))
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="validate docs links and command lines")
+    parser.add_argument("--root", default=".", help="repository root (default: cwd)")
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    errors = check_docs(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(markdown_files(root))
+    if errors:
+        print(f"docs check: {len(errors)} problem(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"docs check: {checked} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

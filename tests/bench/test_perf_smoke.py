@@ -1,10 +1,11 @@
 """Fast functional check of the perf harness (``--smoke`` mode).
 
 Runs every perf workload at smoke scale and checks the report plumbing
-— workload coverage, schema, baseline bookkeeping. Deliberately no
-timing assertions: wall-clock performance is tracked by running
-``benchmarks/bench_perf.py`` directly (see docs/PERFORMANCE.md), not by
-the test suite, which must stay deterministic on loaded machines.
+— workload coverage, schema, baseline bookkeeping, the schema-1 →
+schema-2 migration. Deliberately no timing assertions: wall-clock
+performance is tracked by running ``benchmarks/bench_perf.py`` directly
+(see docs/PERFORMANCE.md), not by the test suite, which must stay
+deterministic on loaded machines.
 """
 
 import json
@@ -12,11 +13,13 @@ import json
 import pytest
 
 from repro.bench.perfbench import (
+    SCHEMA_VERSION,
     environment_info,
     format_report,
     merge_report,
     run_perfbench,
 )
+from repro.report.envinfo import ENVIRONMENT_KEYS, strip_environment
 
 pytestmark = pytest.mark.perf_smoke
 
@@ -45,9 +48,13 @@ def test_smoke_run_covers_every_workload(smoke_results):
 
 
 def test_environment_info_fields():
+    # The shared block (repro.report.envinfo) carries exactly the
+    # volatile keys — and nothing that belongs in the diffable payload.
     info = environment_info()
+    assert set(info) == set(ENVIRONMENT_KEYS)
     assert info["python"]
     assert info["platform"]
+    assert info["timestamp"]
 
 
 def test_merge_report_records_baseline_then_speedups(tmp_path, smoke_results):
@@ -56,7 +63,14 @@ def test_merge_report_records_baseline_then_speedups(tmp_path, smoke_results):
     # First write against a missing report: the run becomes the baseline.
     assert first["baseline"]["results"] == first["current"]["results"]
     on_disk = json.loads(path.read_text())
-    assert on_disk["schema"] == 1
+    assert on_disk["schema"] == SCHEMA_VERSION == 2
+
+    # The volatile block lives only at the top level: baseline/current
+    # hold pure measurements, so re-runs diff cleanly.
+    assert set(on_disk["environment"]) == {"baseline", "current"}
+    for side in ("baseline", "current"):
+        assert "environment" not in on_disk[side]
+        assert on_disk[side] == strip_environment(on_disk[side])
 
     # A later run keeps the original baseline and reports speedups.
     faster = {
@@ -65,12 +79,33 @@ def test_merge_report_records_baseline_then_speedups(tmp_path, smoke_results):
     }
     second = merge_report(faster, path=str(path))
     assert second["baseline"]["results"] == first["baseline"]["results"]
+    assert second["environment"]["baseline"] == first["environment"]["baseline"]
     for name in EXPECTED_WORKLOADS:
         assert second["speedup_vs_baseline"][name] == pytest.approx(2.0)
 
     # Unless explicitly rebaselined.
     third = merge_report(faster, path=str(path), rebaseline=True)
     assert third["baseline"]["results"] == faster
+
+
+def test_merge_report_migrates_schema_1(tmp_path, smoke_results):
+    # A schema-1 file (environment nested inside baseline/current) is
+    # hoisted on the next merge; the baseline measurements survive.
+    path = tmp_path / "BENCH_perf.json"
+    old_env = {"python": "3.0.0", "platform": "old-box", "timestamp": "2020-01-01T00:00:00Z"}
+    legacy = {
+        "schema": 1,
+        "baseline": {"environment": old_env, "results": smoke_results},
+        "current": {"environment": old_env, "results": smoke_results},
+        "speedup_vs_baseline": {},
+    }
+    path.write_text(json.dumps(legacy))
+
+    merged = merge_report(smoke_results, path=str(path))
+    assert merged["schema"] == SCHEMA_VERSION
+    assert merged["baseline"] == {"results": smoke_results}
+    assert merged["environment"]["baseline"] == old_env
+    assert merged["environment"]["current"] != old_env
 
 
 def test_format_report_is_printable(tmp_path, smoke_results):
