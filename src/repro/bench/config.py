@@ -63,6 +63,12 @@ class ExperimentConfig:
     cache_enabled: bool = True
     max_retries: int = 0
     avoid_byzantine: bool = False
+    # Adaptive resilience layer (docs/RESILIENCE.md): RTT-aware
+    # timeouts, hedged solicitation, per-org circuit breakers, and —
+    # with a positive snapshot_interval — snapshot-based crash
+    # recovery. Off by default (legacy fixed-timeout behavior).
+    resilience: bool = False
+    snapshot_interval: float = 0.0
     # Workload skew (Table 2 row 8): None = uniform; otherwise relative
     # per-organization weights.
     org_weights: Optional[Tuple[float, ...]] = None

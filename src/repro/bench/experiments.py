@@ -614,6 +614,9 @@ def chaos_run(
     duration: float = 20.0,
     scale: Optional[float] = None,
     seed: int = 0,
+    resilience: bool = False,
+    max_retries: int = 0,
+    snapshot_interval: float = 0.0,
 ) -> ExperimentResult:
     """One system under a fault schedule, oracle-checked at quiescence.
 
@@ -622,7 +625,8 @@ def chaos_run(
     schedule horizon so recovery traffic can drain before the checkers
     judge convergence and liveness. The result carries
     ``check_report`` (pass/fail per oracle) and ``fingerprint`` (the
-    deterministic run digest).
+    deterministic run digest). ``resilience`` turns on the adaptive
+    resilience layer (docs/RESILIENCE.md) — OrderlessChain only.
     """
     if schedule is None:
         schedule = smoke_schedule(default_node_ids(system, num_orgs))
@@ -634,9 +638,58 @@ def chaos_run(
         quorum=quorum,
         fault_schedule=schedule,
         check=True,
+        resilience=resilience,
+        max_retries=max_retries,
+        snapshot_interval=snapshot_interval,
         **_base(max(duration, schedule.horizon + 5.0), scale, seed),
     )
     return run_experiment(config)
+
+
+def resilience_availability(
+    seeds: Sequence[int] = (1, 2, 3),
+    app: str = "voting",
+    arrival_rate: float = 400.0,
+    num_orgs: int = 4,
+    quorum: int = 2,
+    duration: float = 20.0,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> SweepResult:
+    """Availability under chaos: fixed timeouts vs adaptive resilience.
+
+    Both arms run OrderlessChain under the standard crash + partition
+    + loss smoke schedule with the same retry budget (``max_retries=2``
+    — isolating *how* the retries adapt, not whether they exist). The
+    adaptive arm adds RTT-aware deadlines with backoff, hedged
+    solicitation, circuit breakers, and 5-second snapshot checkpoints
+    (docs/RESILIENCE.md). Labels are ``{mode}/seed{seed}``; the
+    ``resilience-adaptive-wins`` check asserts the adaptive arm commits
+    strictly more per seed while every oracle stays green.
+    """
+    schedule = smoke_schedule(default_node_ids("orderlesschain", num_orgs))
+    # ``seed`` (pinned by the report pipeline) offsets the whole seed set.
+    seeds = tuple(seed + s for s in seeds)
+    grid = [(mode, s) for mode in ("fixed", "adaptive") for s in seeds]
+    configs = [
+        ExperimentConfig(
+            system="orderlesschain",
+            app=app,
+            arrival_rate=arrival_rate,
+            num_orgs=num_orgs,
+            quorum=quorum,
+            fault_schedule=schedule,
+            check=True,
+            max_retries=2,
+            resilience=mode == "adaptive",
+            snapshot_interval=5.0 if mode == "adaptive" else 0.0,
+            **_base(max(duration, schedule.horizon + 5.0), scale, seed),
+        )
+        for mode, seed in grid
+    ]
+    labels = [f"{mode}/seed{seed}" for mode, seed in grid]
+    return _sweep(labels, configs, jobs)
 
 
 def chaos_suite(
@@ -674,6 +727,7 @@ __all__ = [
     "fig8_byzantine_orgs",
     "fig8_text_byzantine_clients",
     "fig9_comparison",
+    "resilience_availability",
     "resource_utilization_comparison",
     "fig10_comparison",
     "table3_breakdown",

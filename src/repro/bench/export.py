@@ -43,6 +43,8 @@ def result_to_record(result: ExperimentResult) -> Dict[str, Any]:
         "latency_read_p1_ms": _clean(result.latency_read.p1_ms),
         "latency_read_p99_ms": _clean(result.latency_read.p99_ms),
         "failure_reasons": dict(result.failure_reasons),
+        # True/False when the run was oracle-checked, None otherwise.
+        "oracles_ok": (result.check_report.ok if result.check_report is not None else None),
         "phase_means_ms": {k: _clean(v) for k, v in result.phase_means_ms.items()},
         "timeline": [[t, tps] for t, tps in result.timeline],
         "extra": {k: _clean(v) for k, v in result.extra.items()},

@@ -34,6 +34,7 @@ from repro.core.recording import TransactionRecorder
 from repro.core.system import OrderlessChainNetwork, OrderlessChainSettings
 from repro.errors import ConfigError
 from repro.obs import Observability
+from repro.resilience import ResilienceConfig
 from repro.sim.core import Simulator
 
 
@@ -87,11 +88,13 @@ def _run_orderlesschain(
         perf=config.perf(),
         gossip_interval=config.gossip_interval,
         gossip_fanout=config.gossip_fanout,
+        snapshot_interval=config.snapshot_interval,
         cache_enabled=config.cache_enabled,
         client_config=ClientConfig(
             max_retries=config.max_retries,
             avoid_byzantine=config.avoid_byzantine,
             org_weights=config.org_weights,
+            resilience=ResilienceConfig() if config.resilience else None,
         ),
     )
     net = OrderlessChainNetwork(settings)

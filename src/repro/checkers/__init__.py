@@ -14,6 +14,11 @@ paper claims (Sections 5–8):
 * **Liveness** — submitted transactions resolve (commit or fail)
   within the client's own timeout budget, and progress resumes after
   the last fault heals.
+* **No duplicate commit** — no ledger records the same valid
+  transaction twice, however often clients re-send it (the adaptive
+  resilience layer's retries lean on this — docs/RESILIENCE.md).
+* **Availability** — enough of what was submitted actually committed
+  (lenient by default; resilience experiments tighten the floor).
 
 Run them with :func:`run_checkers` against any of the five systems
 (the same :mod:`repro.faults.adapters` surface the fault engine uses);
@@ -24,10 +29,12 @@ CLI print. See ``docs/FAULTS.md``.
 
 from repro.checkers.fingerprint import run_fingerprint, state_fingerprints
 from repro.checkers.oracles import (
+    AvailabilityChecker,
     CheckContext,
     ConvergenceChecker,
     LedgerIntegrityChecker,
     LivenessChecker,
+    NoDuplicateCommitChecker,
     PolicySafetyChecker,
     default_checkers,
     run_checkers,
@@ -35,12 +42,14 @@ from repro.checkers.oracles import (
 from repro.checkers.report import CheckReport, CheckResult
 
 __all__ = [
+    "AvailabilityChecker",
     "CheckContext",
     "CheckReport",
     "CheckResult",
     "ConvergenceChecker",
     "LedgerIntegrityChecker",
     "LivenessChecker",
+    "NoDuplicateCommitChecker",
     "PolicySafetyChecker",
     "default_checkers",
     "run_checkers",

@@ -222,12 +222,89 @@ class LivenessChecker:
         return CheckResult(self.name, PASS, detail)
 
 
+class NoDuplicateCommitChecker:
+    """No ledger holds the same valid transaction twice.
+
+    Retried commits (the adaptive resilience layer re-sends the same
+    signed transaction wire to fresh organizations, and the Section 3
+    failure model allows duplication in transit) must be absorbed by
+    the organizations' dedup path — a transaction that lands in the
+    hash chain as *valid* more than once would double-apply its CRDT
+    operations on replay. Runs on all nodes, crashed ones included.
+    """
+
+    name = "no-duplicate-commit"
+
+    def check(self, adapter: SystemAdapter, ctx: CheckContext) -> CheckResult:
+        ledgers = adapter.ledgers()
+        if not ledgers:
+            return CheckResult(self.name, SKIP, f"{adapter.system} keeps no hash-chain ledger")
+        violations: List[str] = []
+        audited = 0
+        for node_id, ledger in sorted(ledgers.items()):
+            counts: dict = {}
+            for block in ledger.log:
+                if not block.valid:
+                    continue
+                try:
+                    proposal = block.payload["proposal"]
+                    txn_id = f"{proposal['client_id']}:{proposal['clock']['counter']}"
+                except (KeyError, TypeError):
+                    continue  # malformed payload; ledger-integrity's case
+                counts[txn_id] = counts.get(txn_id, 0) + 1
+            audited += len(counts)
+            for txn_id, count in sorted(counts.items()):
+                if count > 1:
+                    violations.append(
+                        f"{node_id}: {txn_id} committed as valid {count} times"
+                    )
+        if violations:
+            return CheckResult(
+                self.name, FAIL, f"{len(violations)} duplicated commits", violations
+            )
+        return CheckResult(self.name, PASS, f"{audited} valid commits, all unique")
+
+
+class AvailabilityChecker:
+    """The run made useful progress: enough submissions committed.
+
+    A coarse ratio oracle over the transaction recorder's ground
+    truth. The default threshold is deliberately lenient (a chaos
+    schedule may legitimately fail most transactions submitted into a
+    partition); resilience experiments instantiate it with stricter
+    thresholds to assert the adaptive layer's availability win.
+    """
+
+    name = "availability"
+
+    def __init__(self, min_commit_ratio: float = 0.05) -> None:
+        self.min_commit_ratio = min_commit_ratio
+
+    def check(self, adapter: SystemAdapter, ctx: CheckContext) -> CheckResult:
+        if not ctx.quiescent:
+            return CheckResult(self.name, SKIP, "only checked at quiescence")
+        records = adapter.recorder.records
+        if not records:
+            return CheckResult(self.name, SKIP, "no transactions submitted")
+        committed = sum(1 for r in records.values() if r.committed_at is not None)
+        ratio = committed / len(records)
+        detail = (
+            f"{committed}/{len(records)} committed "
+            f"({ratio:.1%}, floor {self.min_commit_ratio:.1%})"
+        )
+        if ratio < self.min_commit_ratio:
+            return CheckResult(self.name, FAIL, detail)
+        return CheckResult(self.name, PASS, detail)
+
+
 def default_checkers() -> List[Any]:
     return [
         ConvergenceChecker(),
         LedgerIntegrityChecker(),
         PolicySafetyChecker(),
         LivenessChecker(),
+        NoDuplicateCommitChecker(),
+        AvailabilityChecker(),
     ]
 
 
@@ -265,10 +342,12 @@ def run_checkers(
 
 
 __all__ = [
+    "AvailabilityChecker",
     "CheckContext",
     "ConvergenceChecker",
     "LedgerIntegrityChecker",
     "LivenessChecker",
+    "NoDuplicateCommitChecker",
     "PolicySafetyChecker",
     "default_checkers",
     "run_checkers",

@@ -150,6 +150,9 @@ def _run_chaos(args):
             duration=args.duration,
             scale=args.scale,
             seed=args.seed,
+            resilience=getattr(args, "resilience", False),
+            max_retries=getattr(args, "retries", 0),
+            snapshot_interval=getattr(args, "snapshot_interval", 0.0),
         )
         report = result.check_report
         failed = failed or not report.ok
@@ -412,6 +415,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="run the invariant oracles at quiescence (chaos always checks)",
+    )
+    run.add_argument(
+        "--resilience",
+        action="store_true",
+        help="chaos only: adaptive timeouts, hedged retries, and circuit breakers"
+        " for OrderlessChain clients (docs/RESILIENCE.md)",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="chaos only: client retry budget per phase (default 0)",
+    )
+    run.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=0.0,
+        help="chaos only: organization checkpoint period in simulated seconds"
+        " (0 disables snapshot-based recovery)",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -41,6 +41,7 @@ from repro.crdt.clock import LamportClock
 from repro.crypto.identity import Identity
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.resilience import CircuitBreaker, ResilienceConfig, RttEstimator
 from repro.sim.core import Simulator
 from repro.sim.events import AnyOf, Event
 
@@ -55,6 +56,10 @@ class ClientConfig:
     max_retries: int = 0
     avoid_byzantine: bool = False  # Figure 8(b): blacklist misbehaving orgs
     org_weights: Optional[Sequence[float]] = None  # config 8: skewed load
+    # Adaptive resilience (docs/RESILIENCE.md): RTT-aware deadlines,
+    # hedged solicitation, and per-org circuit breakers. None keeps the
+    # fixed timeouts above and the legacy event order byte-identical.
+    resilience: Optional[ResilienceConfig] = None
 
 
 class _Pending:
@@ -62,12 +67,16 @@ class _Pending:
 
     Responses are deduplicated by sender so a duplicated message (the
     Section 3 failure model allows duplication in transit) cannot
-    satisfy the quorum with fewer distinct organizations.
+    satisfy the quorum with fewer distinct organizations. Arrival
+    times are recorded for the RTT estimator (pure bookkeeping — no
+    events, so untouched runs stay byte-identical).
     """
 
     def __init__(self, sim: Simulator, needed: int) -> None:
         self.needed = needed
         self.responses: List[Any] = []
+        self.arrivals: List[float] = []
+        self._sim = sim
         self._senders: set = set()
         self.event = Event(sim)
 
@@ -77,6 +86,7 @@ class _Pending:
                 return
             self._senders.add(sender)
         self.responses.append(response)
+        self.arrivals.append(self._sim.now)
         if len(self.responses) >= self.needed and not self.event.triggered:
             self.event.trigger(self.responses)
 
@@ -96,6 +106,7 @@ class Client:
         recorder: Optional[TransactionRecorder] = None,
         config: Optional[ClientConfig] = None,
         byzantine: Optional[ByzantineClientConfig] = None,
+        resilience_rng: Optional[random.Random] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -117,6 +128,17 @@ class Client:
         self._pending_reads: Dict[str, _Pending] = {}
         self.committed = 0
         self.failed = 0
+        # Adaptive resilience state (None-resilience clients never touch
+        # any of this, keeping the legacy event order byte-identical).
+        # Jitter draws come from a dedicated stream so resilience-on
+        # runs are deterministic per seed (docs/RESILIENCE.md).
+        self._res_rng = resilience_rng if resilience_rng is not None else rng
+        self._rtt = (
+            RttEstimator(self.config.resilience)
+            if self.config.resilience is not None
+            else None
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {}
         network.register(self.client_id, self._on_message)
 
     @property
@@ -145,8 +167,29 @@ class Client:
 
     # -- organization selection ----------------------------------------------
 
-    def _select_orgs(self, count: int) -> List[str]:
+    def _breaker(self, org_id: str) -> CircuitBreaker:
+        breaker = self.breakers.get(org_id)
+        if breaker is None:
+            res = self.config.resilience or ResilienceConfig()
+            breaker = CircuitBreaker(
+                org_id,
+                threshold=res.breaker_threshold,
+                cooldown=res.breaker_cooldown,
+                probes=res.breaker_probes,
+                clock=lambda: self.sim.now,
+                on_transition=self._trace_breaker,
+            )
+            self.breakers[org_id] = breaker
+        return breaker
+
+    def _select_orgs(self, count: int, avoid: Sequence[str] = ()) -> List[str]:
         candidates = [org for org in self.org_ids if org not in self.blacklist]
+        if self.config.resilience is not None:
+            # Circuit breakers: skip orgs whose breaker is open (unless
+            # that would leave us short of a quorum's worth of targets).
+            healthy = [org for org in candidates if self._breaker(org).allows_request()]
+            if len(healthy) >= count:
+                candidates = healthy
         if len(candidates) < count:
             # Not enough trusted organizations left; fall back to all.
             candidates = list(self.org_ids)
@@ -162,6 +205,17 @@ class Client:
                 pool.remove(pick)
                 chosen.append(pick)
             return chosen
+        if avoid:
+            # Retry retargeting: prefer organizations not yet contacted
+            # for this transaction (docs/RESILIENCE.md).
+            avoided = set(avoid)
+            fresh = [org for org in candidates if org not in avoided]
+            if len(fresh) >= count:
+                return self.rng.sample(fresh, count)
+            rest = self.rng.sample(
+                [org for org in candidates if org in avoided], count - len(fresh)
+            )
+            return fresh + rest
         return self.rng.sample(candidates, count)
 
     # -- tracing helpers ----------------------------------------------------------
@@ -197,6 +251,74 @@ class Client:
             attrs={"kind": kind, "outcome": outcome},
         )
 
+    def _trace_breaker(self, org_id: str, old_state: str, new_state: str) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                "breaker/transition",
+                self.sim.now,
+                node=self.client_id,
+                attrs={"org": org_id, "from": old_state, "to": new_state},
+            )
+
+    def _trace_retry(self, txn_id: str, phase: str, attempt: int) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                "client/retry",
+                self.sim.now,
+                node=self.client_id,
+                txn_id=txn_id,
+                attrs={"phase": phase, "attempt": attempt},
+            )
+
+    def _trace_backoff(self, txn_id: str, started: float, attempt: int, deadline: float) -> None:
+        """A timed-out wait window that will be retried with backoff."""
+        if self.tracer is not None:
+            self.tracer.span(
+                "client/backoff",
+                started,
+                self.sim.now,
+                node=self.client_id,
+                txn_id=txn_id,
+                attrs={"attempt": attempt, "deadline": round(deadline, 6)},
+            )
+
+    # -- adaptive resilience helpers ----------------------------------------------
+
+    def _deadline(self, phase: str, attempt: int) -> float:
+        """The wait deadline for one attempt of one phase."""
+        res = self.config.resilience
+        if res is None or self._rtt is None:
+            return {
+                "endorse": self.config.proposal_timeout,
+                "commit": self.config.commit_timeout,
+                "read": self.config.read_timeout,
+            }[phase]
+        return self._rtt.timeout_for(attempt, self._res_rng)
+
+    def _observe_rtts(self, pending: _Pending, sent_at: float, seen: int = 0) -> None:
+        """Feed round-trips measured since ``sent_at`` to the estimator."""
+        if self._rtt is None:
+            return
+        for arrived in pending.arrivals[seen:]:
+            self._rtt.observe(arrived - sent_at)
+
+    def _record_attempt_outcome(self, targets: Sequence[str], responded: set) -> None:
+        """Update circuit breakers after one solicitation attempt."""
+        if self.config.resilience is None:
+            return
+        for org_id in targets:
+            breaker = self._breaker(org_id)
+            if org_id in responded:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+
+    def _hedged_count(self, q: int) -> int:
+        res = self.config.resilience
+        if res is None:
+            return q
+        return min(len(self.org_ids), q + res.hedge)
+
     # -- Byzantine helpers --------------------------------------------------------
 
     def _misbehaves(self, fault: str) -> bool:
@@ -225,10 +347,20 @@ class Client:
         self._trace_submitted(txn_id, "modify")
         split_clock = self._misbehaves("split_clock")
 
+        res = self.config.resilience
+        used: set = set()  # orgs contacted so far (resilience retargeting)
         attempt = 0
         while True:
             attempt_started = self.sim.now
-            targets = self._select_orgs(q)
+            if res is not None:
+                # Hedged solicitation: contact q + hedge organizations,
+                # preferring ones not yet tried for this transaction.
+                targets = self._select_orgs(self._hedged_count(q), avoid=sorted(used))
+                used.update(targets)
+                for org_id in targets:
+                    self._breaker(org_id).record_sent()
+            else:
+                targets = self._select_orgs(q)
             pending = _Pending(self.sim, needed=q)
             self._pending_endorsements[txn_id] = pending
             for index, org_id in enumerate(targets):
@@ -249,10 +381,20 @@ class Client:
                         size_bytes=self.perf.proposal_bytes,
                     )
                 )
-            timeout = self.sim.timeout(self.config.proposal_timeout)
-            yield AnyOf(self.sim, [pending.event, timeout])
+            deadline = self._deadline("endorse", attempt)
+            timeout = self.sim.timeout(deadline)
+            winner = yield AnyOf(self.sim, [pending.event, timeout])
             endorsements: List[Endorsement] = list(pending.responses)
             del self._pending_endorsements[txn_id]
+            self._observe_rtts(pending, attempt_started)
+            if res is not None:
+                responded = {e.org_id for e in endorsements}
+                if winner is pending.event:
+                    # Quorum reached early: slower hedged targets are not
+                    # failures, they were simply not needed.
+                    self._record_attempt_outcome(sorted(responded), responded)
+                else:
+                    self._record_attempt_outcome(targets, responded)
             if self.tracer is not None:
                 self.tracer.span(
                     "client/endorse_wait",
@@ -275,6 +417,8 @@ class Client:
                     self.recorder.failed(txn_id, self.sim.now, "endorsement failure")
                 self._trace_done(txn_id, started, "modify", "endorsement failure")
                 return False
+            self._trace_backoff(txn_id, attempt_started, attempt - 1, deadline)
+            self._trace_retry(txn_id, "endorse", attempt)
             if self.recorder is not None:
                 self.recorder.retried(txn_id)
 
@@ -302,25 +446,69 @@ class Client:
                 self.identity, proposal, tampered, list(majority)
             )
 
-        commit_targets = self._select_orgs(q)
-        if self._misbehaves("partial_commit"):
-            commit_targets = commit_targets[:1]
-        commit_started = self.sim.now
-        pending = _Pending(self.sim, needed=min(q, len(commit_targets)))
-        self._pending_receipts[txn_id] = pending
+        partial_commit = self._misbehaves("partial_commit")
         wire = transaction.to_wire()
-        for org_id in commit_targets:
-            self.network.send(
-                Message(
-                    sender=self.client_id,
-                    recipient=org_id,
-                    msg_type=MSG_COMMIT,
-                    body=wire,
-                    size_bytes=transaction.wire_size(),
+        commit_started = self.sim.now
+        if res is not None and not partial_commit:
+            # Retry loop: receipts accumulate across attempts (deduped by
+            # sender) and each retry re-targets fresh organizations. The
+            # transaction commits durably on the org side, so re-sending
+            # the same signed wire is safe — MSG_COMMIT is idempotent.
+            contacted: set = set()
+            pending = _Pending(self.sim, needed=q)
+            self._pending_receipts[txn_id] = pending
+            commit_attempt = 0
+            while True:
+                attempt_started = self.sim.now
+                targets = self._select_orgs(self._hedged_count(q), avoid=sorted(contacted))
+                contacted.update(targets)
+                for org_id in targets:
+                    self._breaker(org_id).record_sent()
+                for org_id in targets:
+                    self.network.send(
+                        Message(
+                            sender=self.client_id,
+                            recipient=org_id,
+                            msg_type=MSG_COMMIT,
+                            body=wire,
+                            size_bytes=transaction.wire_size(),
+                        )
+                    )
+                deadline = self._deadline("commit", commit_attempt)
+                seen = len(pending.arrivals)
+                timeout = self.sim.timeout(deadline)
+                winner = yield AnyOf(self.sim, [pending.event, timeout])
+                self._observe_rtts(pending, attempt_started, seen)
+                responded = {r.org_id for r in pending.responses}
+                if winner is pending.event:
+                    self._record_attempt_outcome(sorted(responded), responded)
+                    break
+                self._record_attempt_outcome(targets, responded)
+                commit_attempt += 1
+                if commit_attempt > self.config.max_retries:
+                    break
+                self._trace_backoff(txn_id, attempt_started, commit_attempt - 1, deadline)
+                self._trace_retry(txn_id, "commit", commit_attempt)
+                if self.recorder is not None:
+                    self.recorder.retried(txn_id)
+        else:
+            commit_targets = self._select_orgs(q)
+            if partial_commit:
+                commit_targets = commit_targets[:1]
+            pending = _Pending(self.sim, needed=min(q, len(commit_targets)))
+            self._pending_receipts[txn_id] = pending
+            for org_id in commit_targets:
+                self.network.send(
+                    Message(
+                        sender=self.client_id,
+                        recipient=org_id,
+                        msg_type=MSG_COMMIT,
+                        body=wire,
+                        size_bytes=transaction.wire_size(),
+                    )
                 )
-            )
-        timeout = self.sim.timeout(self.config.commit_timeout)
-        yield AnyOf(self.sim, [pending.event, timeout])
+            timeout = self.sim.timeout(self.config.commit_timeout)
+            yield AnyOf(self.sim, [pending.event, timeout])
         receipts: List[Receipt] = list(pending.responses)
         del self._pending_receipts[txn_id]
         if self.tracer is not None:
@@ -369,10 +557,11 @@ class Client:
         majority: Optional[List[Endorsement]],
     ) -> None:
         """Figure 8(b): avoid orgs that did not respond or disagreed."""
-        responded = {e.org_id for e in endorsements}
         agreeing = {e.org_id for e in (majority or [])}
         for org_id in targets:
-            if org_id not in responded or (org_id in responded and org_id not in agreeing):
+            # Both silent orgs and disagreeing responders are offenders;
+            # only members of the majority group are in the clear.
+            if org_id not in agreeing:
                 self.blacklist.add(org_id)
 
     # -- read transactions -----------------------------------------------------------
@@ -387,7 +576,13 @@ class Client:
             self.recorder.submitted(txn_id, self.client_id, "read", self.sim.now)
         started = self.sim.now
         self._trace_submitted(txn_id, "read")
-        targets = self._select_orgs(q)
+        res = self.config.resilience
+        if res is not None:
+            targets = self._select_orgs(self._hedged_count(q))
+            for org_id in targets:
+                self._breaker(org_id).record_sent()
+        else:
+            targets = self._select_orgs(q)
         pending = _Pending(self.sim, needed=q)
         self._pending_reads[txn_id] = pending
         for org_id in targets:
@@ -400,10 +595,17 @@ class Client:
                     size_bytes=self.perf.proposal_bytes,
                 )
             )
-        timeout = self.sim.timeout(self.config.read_timeout)
+        timeout = self.sim.timeout(self._deadline("read", 0))
         winner = yield AnyOf(self.sim, [pending.event, timeout])
         values = list(pending.responses)
         del self._pending_reads[txn_id]
+        self._observe_rtts(pending, started)
+        if res is not None:
+            responded = set(pending._senders)
+            if winner is pending.event:
+                self._record_attempt_outcome(sorted(responded), responded)
+            else:
+                self._record_attempt_outcome(targets, responded)
         if self.tracer is not None:
             self.tracer.span(
                 "client/read_wait",

@@ -36,6 +36,13 @@ class PerfModel:
     read_base: float = 0.0003
     dedup_check: float = 0.00002
     log_replay_per_op: float = 0.00002  # cache-disabled ablation: read replays ops
+    # Snapshot-based crash recovery (docs/RESILIENCE.md): periodic
+    # checkpoint cost plus per-transaction replay of the delta between
+    # the latest snapshot and the durable log on recovery.
+    snapshot_base: float = 0.0005
+    snapshot_per_txn: float = 0.00001
+    recover_base: float = 0.0010
+    recover_replay_per_txn: float = 0.00003
 
     # -- Fabric ----------------------------------------------------------
     fabric_endorse: float = 0.0010

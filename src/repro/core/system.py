@@ -42,6 +42,9 @@ class OrderlessChainSettings:
     gossip_fanout: int = 1
     gossip_ttl: int = 3
     sync_interval: float = 5.0
+    # Snapshot-based crash recovery (docs/RESILIENCE.md); 0 keeps the
+    # legacy full-resync recovery and takes no checkpoints.
+    snapshot_interval: float = 0.0
     cache_enabled: bool = True
     client_config: ClientConfig = field(default_factory=ClientConfig)
 
@@ -87,6 +90,7 @@ class OrderlessChainNetwork:
                 gossip_fanout=settings.gossip_fanout,
                 gossip_ttl=settings.gossip_ttl,
                 sync_interval=settings.sync_interval,
+                snapshot_interval=settings.snapshot_interval,
             )
             self.organizations.append(org)
         org_ids = [org.org_id for org in self.organizations]
@@ -126,6 +130,15 @@ class OrderlessChainNetwork:
         index = len(self.clients)
         identifier = name or f"client{index}"
         identity = self.ca.enroll(identifier, "client", seed=identifier.encode())
+        client_config = config or self.settings.client_config
+        # A dedicated stream for resilience jitter keeps protocol draws
+        # untouched; RngRegistry streams are independent, so creating
+        # it only for resilience clients preserves golden fingerprints.
+        resilience_rng = (
+            self.rng.stream(f"resilience:{identifier}")
+            if client_config.resilience is not None
+            else None
+        )
         client = Client(
             sim=self.sim,
             network=self.network,
@@ -135,8 +148,9 @@ class OrderlessChainNetwork:
             perf=self.settings.perf,
             rng=self.rng.stream(f"client:{identifier}"),
             recorder=self.recorder,
-            config=config or self.settings.client_config,
+            config=client_config,
             byzantine=byzantine,
+            resilience_rng=resilience_rng,
         )
         self.clients.append(client)
         if self.observability is not None:

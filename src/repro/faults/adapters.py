@@ -112,6 +112,17 @@ class SystemAdapter:
         liveness oracle flags only older unresolved transactions."""
         return 60.0
 
+    def recovery_mode(self, node_id: str) -> str:
+        """How ``recover`` catches the node up (``resync``,
+        ``snapshot``, ``catchup``, ...), for fault-span attribution."""
+        del node_id
+        return "resync"
+
+    def breaker_states(self) -> Dict[str, Dict[str, str]]:
+        """client id -> {org id -> circuit-breaker state}, where the
+        system runs the adaptive resilience layer (docs/RESILIENCE.md)."""
+        return {}
+
     # -- helpers shared by subclasses ----------------------------------
 
     def _node(self, mapping: Dict[str, Any], node_id: str) -> Any:
@@ -139,7 +150,19 @@ class OrderlessChainAdapter(SystemAdapter):
 
     def recover(self, node_id: str) -> None:
         self.network.recover(node_id)
-        self._node(self._orgs, node_id).resync()
+        self._node(self._orgs, node_id).recover()
+
+    def recovery_mode(self, node_id: str) -> str:
+        return self._node(self._orgs, node_id).last_recovery_mode or "resync"
+
+    def breaker_states(self) -> Dict[str, Dict[str, str]]:
+        states: Dict[str, Dict[str, str]] = {}
+        for client in self.net.clients:
+            if client.breakers:
+                states[client.client_id] = {
+                    org_id: breaker.state for org_id, breaker in sorted(client.breakers.items())
+                }
+        return states
 
     def cpu(self, node_id: str):
         return self._node(self._orgs, node_id).cpu
@@ -169,6 +192,11 @@ class OrderlessChainAdapter(SystemAdapter):
             config = self.net.clients[0].config
         if config is None:
             return 60.0
+        if config.resilience is not None:
+            # Adaptive deadlines: each attempt of each phase is bounded
+            # by the jitter-inclusive worst-case timeout.
+            worst = config.resilience.worst_case_timeout
+            return (config.max_retries + 1) * 2 * worst + max(worst, 1.0)
         per_attempt = config.proposal_timeout + config.commit_timeout
         return (config.max_retries + 1) * per_attempt + max(config.read_timeout, 1.0)
 

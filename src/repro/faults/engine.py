@@ -126,7 +126,13 @@ class FaultInjector:
             return  # not down; recovering twice is a no-op
         self.adapter.recover(event.node)
         if self.tracer is not None:
-            self.tracer.span(SPAN_CRASH, since, self.adapter.sim.now, node=event.node)
+            self.tracer.span(
+                SPAN_CRASH,
+                since,
+                self.adapter.sim.now,
+                node=event.node,
+                attrs={"recovery": self.adapter.recovery_mode(event.node)},
+            )
 
     def _apply_partition(self, event: FaultEvent) -> None:
         self.adapter.network.partition(*[set(group) for group in event.groups])

@@ -86,6 +86,11 @@ class Network:
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        # Drop accounting by cause, for resilience diagnostics: which
+        # failure mode is eating messages. Keys: ``unregistered``,
+        # ``down``, ``partition``, ``loss``, ``delivery_down``,
+        # ``delivery_partition``. Values sum to ``dropped_count``.
+        self.drops_by_reason: Dict[str, int] = {}
         # Messages scheduled for delivery but not yet delivered; sampled
         # by the observability layer as the ``net/in_flight`` gauge.
         self.in_flight = 0
@@ -159,20 +164,24 @@ class Network:
 
     # -- sending -----------------------------------------------------------
 
+    def _drop(self, reason: str) -> None:
+        self.dropped_count += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+
     def send(self, message: Message) -> None:
         """Send asynchronously; delivery (if any) happens later."""
         self.sent_count += 1
         if message.recipient not in self._handlers:
-            self.dropped_count += 1
+            self._drop("unregistered")
             return
         if message.sender in self._down or message.recipient in self._down:
-            self.dropped_count += 1
+            self._drop("down")
             return
         if not self._connected(message.sender, message.recipient):
-            self.dropped_count += 1
+            self._drop("partition")
             return
         if self.faults.loss_probability and self._rng.random() < self.faults.loss_probability:
-            self.dropped_count += 1
+            self._drop("loss")
             return
         if self.faults.corrupt_probability and self._rng.random() < self.faults.corrupt_probability:
             message.corrupted = True
@@ -195,10 +204,11 @@ class Network:
             # Re-check the world at delivery time: a crash loses the
             # recipient's in-flight inbox, and a partition installed
             # while this message was on the wire cuts the link.
-            if message.recipient in self._down or not self._connected(
-                message.sender, message.recipient
-            ):
-                self.dropped_count += 1
+            if message.recipient in self._down:
+                self._drop("delivery_down")
+                return
+            if not self._connected(message.sender, message.recipient):
+                self._drop("delivery_partition")
                 return
             self.delivered_count += 1
             if self.tracer is not None:

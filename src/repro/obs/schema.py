@@ -231,6 +231,47 @@ _SPECS: List[MetricSpec] = [
         "s",
         "A CPU slowdown window on one node. attrs: factor.",
     ),
+    # -- adaptive resilience (repro.resilience, docs/RESILIENCE.md) -----------------
+    _spec(
+        "client/retry",
+        INSTANT,
+        "core.client.Client",
+        "-",
+        "A phase is being retried after a timed-out attempt. "
+        "attrs: phase (endorse|commit), attempt (1-based).",
+    ),
+    _spec(
+        "client/backoff",
+        SPAN,
+        "core.client.Client",
+        "s",
+        "One timed-out wait window that a retry follows; the next "
+        "attempt's deadline is backed off. attrs: attempt, deadline.",
+    ),
+    _spec(
+        "breaker/transition",
+        INSTANT,
+        "resilience.breaker.CircuitBreaker",
+        "-",
+        "A per-org circuit breaker changed state. attrs: org, "
+        "from, to (closed|open|half-open).",
+    ),
+    _spec(
+        "org/snapshot",
+        INSTANT,
+        "core.organization.Organization",
+        "-",
+        "A recovery checkpoint of the committed set was taken. "
+        "attrs: txns (total), new (since the previous snapshot).",
+    ),
+    _spec(
+        "org/recover",
+        SPAN,
+        "core.organization.Organization",
+        "s",
+        "Snapshot-based crash recovery: delta replay plus targeted "
+        "anti-entropy. attrs: mode, replayed, peers.",
+    ),
     # -- report pipeline (repro.report.pipeline) -----------------------------------
     # These are the only spans measured in *wall* seconds: they time the
     # report pipeline itself (the harness), not the simulation.

@@ -378,6 +378,30 @@ _SPECS: List[ExperimentSpec] = [
         quick_params={"duration": 6.0, "intervals": [0.5, 5.0]},
         checks=("lat-flat-1.5",),
     ),
+    # -- resilience (beyond the paper; docs/RESILIENCE.md) -------------------
+    ExperimentSpec(
+        spec_id="resilience-avail",
+        kind="sweep",
+        runner=f"{_E}:resilience_availability",
+        x_label="run",
+        section_title="Availability under chaos — fixed vs adaptive resilience",
+        paper_claim=(
+            "Beyond the paper's figures: under the standard crash + "
+            "partition + loss chaos schedule, the adaptive resilience "
+            "layer (RTT-aware timeouts with backoff, hedged solicitation, "
+            "circuit breakers, snapshot recovery) commits strictly more "
+            "transactions than the fixed-timeout client with the same "
+            "retry budget, with every invariant oracle green."
+        ),
+        params={"duration": 20.0},
+        quick_params={"duration": 20.0, "seeds": [1, 2]},
+        checks=("resilience-adaptive-wins",),
+        notes=(
+            "Both arms run max_retries=2 under the same smoke schedule; "
+            "only the timeout/targeting policy differs, so the committed "
+            "delta is attributable to the adaptive layer."
+        ),
+    ),
     ExperimentSpec(
         spec_id="abl-orderer",
         kind="sweep",

@@ -367,6 +367,34 @@ def _abl_orderer(records, ctx):
     return raft > solo + 50, f"solo {solo:.1f} ms vs raft {raft:.1f} ms"
 
 
+# -- resilience (docs/RESILIENCE.md) -----------------------------------------
+
+
+@register("resilience-adaptive-wins")
+def _resilience_adaptive_wins(records, ctx):
+    """Per seed, the adaptive arm commits strictly more than the fixed
+    arm, and every oracle-checked run stays green."""
+    by_label = {r["run"]: r for r in records}
+    seeds = sorted(
+        {label.split("/seed", 1)[1] for label in by_label if label.startswith("fixed/")}
+    )
+    if not seeds:
+        return False, "no fixed/adaptive pairs found in the records"
+    details = []
+    ok = True
+    for seed in seeds:
+        fixed = by_label[f"fixed/seed{seed}"]
+        adaptive = by_label[f"adaptive/seed{seed}"]
+        wins = adaptive["committed"] > fixed["committed"]
+        ok = ok and wins
+        details.append(f"seed {seed}: {fixed['committed']} -> {adaptive['committed']}")
+    unhealthy = [label for label, r in sorted(by_label.items()) if r.get("oracles_ok") is not True]
+    if unhealthy:
+        ok = False
+        details.append("oracles red: " + ", ".join(unhealthy))
+    return ok, "committed " + "; ".join(details)
+
+
 __all__ = [
     "CHECKS",
     "CheckOutcome",

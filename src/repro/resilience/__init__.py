@@ -1,0 +1,33 @@
+"""Adaptive resilience: RTT-aware timeouts, hedging, circuit breakers.
+
+The layer generalizes the client's fixed timeouts and permanent
+blacklist into an adaptive health model (docs/RESILIENCE.md):
+
+* :class:`RttEstimator` — Jacobson/Karels EWMA of round-trip times
+  (srtt/rttvar) turning observed endorsement/receipt latencies into
+  per-attempt deadlines with capped exponential backoff and
+  seeded-RNG jitter;
+* :class:`CircuitBreaker` — per-organization closed → open →
+  half-open health tracking, so organizations that heal after a crash
+  or partition get traffic back (unlike the permanent ``blacklist``);
+* :class:`ResilienceConfig` — the knobs, carried on
+  :class:`repro.core.client.ClientConfig` (``resilience=None`` keeps
+  the legacy fixed-timeout behavior, byte-identical event order).
+
+Everything here is deterministic: the only randomness is the jitter
+drawn from a named ``sim.rng`` stream owned by the caller, so
+golden-seed fingerprints stay stable (docs/FAULTS.md).
+"""
+
+from repro.resilience.breaker import BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN, CircuitBreaker
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.rtt import RttEstimator
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "RttEstimator",
+]

@@ -1,0 +1,69 @@
+"""Knobs for the adaptive resilience layer (docs/RESILIENCE.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Adaptive timeout, hedging, and circuit-breaker parameters.
+
+    Attach to :class:`repro.core.client.ClientConfig` via its
+    ``resilience`` field; ``None`` (the default) keeps the legacy
+    fixed-timeout client untouched.
+    """
+
+    # -- RTT estimation and adaptive deadlines -------------------------
+    # Deadline = clamp(srtt + rttvar_mult * rttvar) * backoff^attempt,
+    # capped, plus uniform jitter in [0, jitter * deadline).
+    initial_timeout: float = 1.0  # before any RTT sample lands
+    min_timeout: float = 0.2
+    max_timeout: float = 8.0
+    rttvar_mult: float = 4.0  # Jacobson/Karels' K
+    backoff_factor: float = 2.0
+    backoff_cap: float = 8.0  # max multiplier over the base deadline
+    jitter: float = 0.1  # fraction of the deadline, seeded-RNG drawn
+
+    # -- hedged endorsement solicitation -------------------------------
+    # Contact q + hedge organizations in phase 1 (still need only q
+    # matching endorsements), so one slow/crashed org cannot stall the
+    # attempt. Retries re-target previously unused organizations first.
+    hedge: int = 1
+
+    # -- per-organization circuit breaker ------------------------------
+    breaker_threshold: int = 3  # consecutive failures to open
+    breaker_cooldown: float = 10.0  # open -> half-open after this long
+    breaker_probes: int = 1  # concurrent trial requests in half-open
+
+    def __post_init__(self) -> None:
+        if self.min_timeout <= 0 or self.max_timeout < self.min_timeout:
+            raise ConfigError(
+                f"need 0 < min_timeout <= max_timeout, got "
+                f"[{self.min_timeout}, {self.max_timeout}]"
+            )
+        if not self.min_timeout <= self.initial_timeout <= self.max_timeout:
+            raise ConfigError(
+                f"initial_timeout {self.initial_timeout} outside "
+                f"[{self.min_timeout}, {self.max_timeout}]"
+            )
+        if self.backoff_factor < 1.0 or self.backoff_cap < 1.0:
+            raise ConfigError("backoff factor and cap must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.hedge < 0:
+            raise ConfigError(f"hedge must be >= 0, got {self.hedge}")
+        if self.breaker_threshold < 1 or self.breaker_probes < 1:
+            raise ConfigError("breaker threshold and probes must be >= 1")
+        if self.breaker_cooldown < 0:
+            raise ConfigError(f"breaker cooldown must be >= 0, got {self.breaker_cooldown}")
+
+    @property
+    def worst_case_timeout(self) -> float:
+        """Upper bound on any single adaptive deadline (jitter included)."""
+        return self.max_timeout * (1.0 + self.jitter)
+
+
+__all__ = ["ResilienceConfig"]

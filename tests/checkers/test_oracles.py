@@ -49,6 +49,8 @@ def test_honest_run_passes_every_oracle():
         "ledger-integrity": PASS,
         "policy-safety": PASS,
         "liveness": PASS,
+        "no-duplicate-commit": PASS,
+        "availability": PASS,
     }
     assert "all passed" in report.format()
 
@@ -187,6 +189,8 @@ def test_report_wire_form_round_trips_status():
         "ledger-integrity",
         "policy-safety",
         "liveness",
+        "no-duplicate-commit",
+        "availability",
     }
     with pytest.raises(KeyError):
         report.result("nonexistent")

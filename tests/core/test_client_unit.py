@@ -90,6 +90,33 @@ class TestOrgSelection:
         assert counts["org0"] > 100  # dominated by the heavy weight
 
 
+class TestBlacklistSemantics:
+    """Figure 8(b) avoidance: who counts as an offender."""
+
+    def _endorsement(self, ca, org_name, write_set):
+        return Endorsement.create(ca.enroll(org_name, "organization"), "p:1", write_set)
+
+    def test_silent_and_disagreeing_orgs_both_blacklisted(self, net):
+        ca = CertificateAuthority()
+        good_ws = [{"object_id": "o", "path": [], "value": 1, "value_type": "gcounter",
+                    "clock": {"client_id": "c", "counter": 1}, "op_index": 0}]
+        bad_ws = [dict(good_ws[0], value=999)]
+        agreeing = self._endorsement(ca, "orgA", good_ws)
+        disagreeing = self._endorsement(ca, "orgB", bad_ws)
+        client = net.add_client("c-bl")
+        client.blacklist = set()
+        # orgC was targeted but never responded.
+        client._blacklist_offenders(
+            ["orgA", "orgB", "orgC"], [agreeing, disagreeing], [agreeing]
+        )
+        assert client.blacklist == {"orgB", "orgC"}
+
+    def test_no_majority_blacklists_every_target(self, net):
+        client = net.add_client("c-bl2")
+        client._blacklist_offenders(["orgA", "orgB"], [], None)
+        assert client.blacklist == {"orgA", "orgB"}
+
+
 class TestClockDiscipline:
     def test_clock_increments_per_transaction(self, net):
         client = net.add_client("c4")

@@ -119,6 +119,39 @@ class TestTamperHelper:
         assert write_set[0]["value"] == 5
 
 
+class TestCommitIdempotency:
+    """Regression: replaying the same MSG_COMMIT wire twice commits once.
+
+    Duplicate commits arise naturally — client retries resend the same
+    signed wire, and the link fault model may duplicate messages in
+    transit — so the handler must dedup by transaction id and only
+    resend the receipt.
+    """
+
+    def test_duplicate_commit_wire_commits_once_and_reacks(self, net):
+        from repro.core.organization import MSG_COMMIT
+        from repro.net.message import Message
+
+        org = net.organizations[0]
+        txn = make_transaction(net, client_name="c-dup")
+        receipts = []
+        net.network.register("c-dup", lambda msg: receipts.append(msg))
+        wire = txn.to_wire()
+        for _ in range(2):
+            message = Message(sender="c-dup", recipient=org.org_id,
+                              msg_type=MSG_COMMIT, body=wire)
+            net.sim.process(org._handle_commit(message))
+        net.sim.run(until=5.0)
+        # One ledger commit, but both sends were acknowledged.
+        assert org.ledger.has_transaction(txn.transaction_id)
+        committed = [
+            t for t in org.transactions_for_object("voting/e/party0")
+        ]
+        assert committed == [txn.transaction_id]
+        assert len(receipts) == 2
+        assert all(m.body["transaction_id"] == txn.transaction_id for m in receipts)
+
+
 class TestStateTracking:
     def test_transactions_for_object_indexes_commits(self, net):
         org = net.organizations[0]

@@ -1,0 +1,115 @@
+"""Unit tests of the per-organization circuit breaker state machine."""
+
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, cooldown=10.0, probes=1, clock=None, transitions=None):
+    hook = None
+    if transitions is not None:
+        hook = lambda org, old, new: transitions.append((old, new))
+    return CircuitBreaker(
+        "org0", threshold=threshold, cooldown=cooldown, probes=probes,
+        clock=clock, on_transition=hook,
+    )
+
+
+class TestClosedToOpen:
+    def test_opens_at_threshold_consecutive_failures(self):
+        breaker = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allows_request()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED  # streak broken at 2
+
+    def test_transition_hook_fires(self):
+        transitions = []
+        breaker = make(threshold=1, transitions=transitions)
+        breaker.record_failure()
+        assert transitions == [(BREAKER_CLOSED, BREAKER_OPEN)]
+
+
+class TestCooldownAndHalfOpen:
+    def test_open_rejects_until_cooldown_elapses(self):
+        clock = FakeClock()
+        breaker = make(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 9.9
+        assert not breaker.allows_request()
+        clock.now = 10.0
+        assert breaker.allows_request()
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_half_open_admits_bounded_probes(self):
+        clock = FakeClock()
+        breaker = make(threshold=1, cooldown=1.0, probes=2, clock=clock)
+        breaker.record_failure()
+        clock.now = 2.0
+        assert breaker.allows_request()
+        breaker.record_sent()
+        assert breaker.allows_request()
+        breaker.record_sent()
+        assert not breaker.allows_request()  # probe budget exhausted
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 2.0
+        assert breaker.allows_request()
+        breaker.record_sent()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allows_request()
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = make(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()  # opened at t=0
+        clock.now = 10.0
+        assert breaker.allows_request()  # half-open
+        breaker.record_sent()
+        breaker.record_failure()  # probe failed: re-open at t=10
+        assert breaker.state == BREAKER_OPEN
+        clock.now = 19.9
+        assert not breaker.allows_request()
+        clock.now = 20.0
+        assert breaker.allows_request()
+
+    def test_full_cycle_transitions_recorded(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = make(threshold=1, cooldown=1.0, clock=clock, transitions=transitions)
+        breaker.record_failure()
+        clock.now = 2.0
+        breaker.allows_request()
+        breaker.record_sent()
+        breaker.record_success()
+        assert transitions == [
+            (BREAKER_CLOSED, BREAKER_OPEN),
+            (BREAKER_OPEN, BREAKER_HALF_OPEN),
+            (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+        ]

@@ -1,0 +1,57 @@
+"""Validation of the resilience knobs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import ResilienceConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = ResilienceConfig()
+        assert config.min_timeout <= config.initial_timeout <= config.max_timeout
+
+    def test_inverted_timeout_window_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(min_timeout=5.0, max_timeout=1.0)
+
+    def test_nonpositive_min_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(min_timeout=0.0)
+
+    def test_initial_timeout_outside_window_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(initial_timeout=0.05, min_timeout=0.2)
+        with pytest.raises(ConfigError):
+            ResilienceConfig(initial_timeout=99.0, max_timeout=8.0)
+
+    def test_backoff_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(backoff_factor=0.5)
+        with pytest.raises(ConfigError):
+            ResilienceConfig(backoff_cap=0.9)
+
+    def test_jitter_range(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(jitter=1.0)
+        with pytest.raises(ConfigError):
+            ResilienceConfig(jitter=-0.1)
+        ResilienceConfig(jitter=0.0)  # zero jitter is fine
+
+    def test_negative_hedge_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(hedge=-1)
+
+    def test_breaker_knobs_validated(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(breaker_threshold=0)
+        with pytest.raises(ConfigError):
+            ResilienceConfig(breaker_probes=0)
+        with pytest.raises(ConfigError):
+            ResilienceConfig(breaker_cooldown=-1.0)
+
+
+class TestWorstCase:
+    def test_worst_case_bounds_every_deadline(self):
+        config = ResilienceConfig(max_timeout=4.0, jitter=0.25)
+        assert config.worst_case_timeout == pytest.approx(4.0 * 1.25)
