@@ -69,6 +69,9 @@ class ExperimentConfig:
     # recovery. Off by default (legacy fixed-timeout behavior).
     resilience: bool = False
     snapshot_interval: float = 0.0
+    # Anti-entropy ablation (docs/PERFORMANCE.md): ship the legacy
+    # full-id-set digests instead of O(clients + gaps) watermarks.
+    legacy_digests: bool = False
     # Workload skew (Table 2 row 8): None = uniform; otherwise relative
     # per-organization weights.
     org_weights: Optional[Tuple[float, ...]] = None

@@ -24,6 +24,10 @@ The workloads:
   content-equal copies), the shape commit validation produces when one
   transaction is verified at every organization.
 * ``net/send`` — the simulated network's per-message path.
+* ``orderless/antientropy`` — anti-entropy digest scaling: both digest
+  arms (watermark and legacy full-set) swept over run length, recording
+  modeled digest bytes per round — flat for watermarks, linear for the
+  legacy arm (docs/PERFORMANCE.md).
 
 Every workload is deterministic (fixed seeds, fixed sizes); only the
 wall-clock measurements vary between machines. Use ``smoke=True`` for
@@ -281,6 +285,108 @@ def bench_orderless_events(duration: float = 6.0, smoke: bool = False) -> Dict[s
     return record
 
 
+def _antientropy_run(
+    duration: float, legacy_digests: bool, sync_interval: float = 1.0
+) -> Dict[str, Any]:
+    """One anti-entropy scaling run; returns digest traffic statistics.
+
+    A small OrderlessChain network with frequent anti-entropy rounds
+    and a 100 % modify workload, so the committed set grows steadily
+    while digests keep flowing. Returns the mean modeled digest size
+    per round, which is what the scaling claim is about: flat in run
+    length for watermarks, linear for the legacy full-set digest.
+    """
+    from repro.bench.config import ExperimentConfig
+    from repro.bench.workload import make_workload
+    from repro.contracts.synthetic import SyntheticContract
+    from repro.core.client import ClientConfig
+    from repro.core.organization import MSG_SYNC_DIGEST
+    from repro.core.system import OrderlessChainNetwork, OrderlessChainSettings
+
+    config = ExperimentConfig(
+        system="orderlesschain",
+        app="synthetic",
+        arrival_rate=2000.0,
+        num_orgs=4,
+        quorum=2,
+        modify_ratio=1.0,
+        duration=duration,
+        scale=20.0,
+        seed=0,
+    )
+    workload = make_workload(config)
+    settings = OrderlessChainSettings(
+        num_orgs=config.num_orgs,
+        quorum=config.quorum,
+        seed=config.seed,
+        perf=config.perf(),
+        sync_interval=sync_interval,
+        legacy_digests=legacy_digests,
+        client_config=ClientConfig(),
+    )
+    net = OrderlessChainNetwork(settings)
+    net.install_contract(SyntheticContract)
+    for _ in range(config.effective_clients):
+        net.add_client()
+    workload_rng = net.rng.stream("workload")
+    clients = net.clients
+    interval = 1.0 / config.effective_rate
+
+    def driver():
+        index = 0
+        while net.sim.now < config.duration:
+            client = clients[index % len(clients)]
+            contract_id, function, params = workload.orderless_modify(
+                workload_rng, client.client_id
+            )
+            net.sim.process(client.submit_modify(contract_id, function, params))
+            index += 1
+            yield net.sim.timeout(interval)
+
+    net.start()
+    net.sim.process(driver(), name="antientropy-driver")
+    net.run(until=config.duration + config.drain)
+    rounds = net.network.sent_by_type.get(MSG_SYNC_DIGEST, 0)
+    digest_bytes = net.network.bytes_by_type.get(MSG_SYNC_DIGEST, 0)
+    committed = sum(
+        org.ledger.valid_transaction_count for org in net.organizations
+    ) // len(net.organizations)
+    return {
+        "duration": duration,
+        "rounds": rounds,
+        "digest_bytes_total": digest_bytes,
+        "digest_bytes_per_round": round(digest_bytes / rounds, 1) if rounds else 0.0,
+        "committed_txns": committed,
+        "events": net.sim.processed_events,
+    }
+
+
+def bench_antientropy(smoke: bool = False) -> Dict[str, Any]:
+    """Anti-entropy digest scaling: watermark vs legacy full-set.
+
+    Sweeps run length for both arms and reports per-round digest bytes
+    at each point. The headline ``per_sec`` is simulator events per
+    wall second across the sweep; the scaling data rides along under
+    ``watermark``/``legacy`` for the perf report and the scaling smoke
+    test (docs/PERFORMANCE.md).
+    """
+    durations = [2.0, 4.0] if smoke else [4.0, 8.0, 16.0]
+    sweeps: Dict[str, Any] = {"watermark": [], "legacy": []}
+
+    def work() -> int:
+        events = 0
+        for arm, legacy in (("watermark", False), ("legacy", True)):
+            for duration in durations:
+                run = _antientropy_run(duration, legacy_digests=legacy)
+                sweeps[arm].append(run)
+                events += run["events"]
+        return events
+
+    record = _timed(work)
+    record.update(sweeps)
+    return record
+
+
 # -- harness -----------------------------------------------------------------
 
 
@@ -301,6 +407,7 @@ def run_perfbench(smoke: bool = False) -> Dict[str, Any]:
         "orderless/events": bench_orderless_events(
             duration=0.8 if smoke else 6.0, smoke=smoke
         ),
+        "orderless/antientropy": bench_antientropy(smoke=smoke),
     }
     for record in results.values():
         assert record["work_units"] > 0
@@ -394,8 +501,31 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--rebaseline", action="store_true", help="record this run as the new baseline"
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        type=int,
+        const=25,
+        default=None,
+        metavar="N",
+        help="run under cProfile and print the top N functions by "
+        "cumulative time (default 25); composes with --smoke",
+    )
     args = parser.parse_args(argv)
-    results = run_perfbench(smoke=args.smoke)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        results = run_perfbench(smoke=args.smoke)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        print(f"-- cProfile: top {args.profile} by cumulative time " + "-" * 20)
+        stats.print_stats(args.profile)
+    else:
+        results = run_perfbench(smoke=args.smoke)
     if args.smoke:
         print("perf smoke pass OK:")
         for name, record in sorted(results.items()):
@@ -409,6 +539,7 @@ def main(argv: Optional[list] = None) -> int:
 
 __all__ = [
     "DEFAULT_REPORT_PATH",
+    "bench_antientropy",
     "bench_canonical_fresh",
     "bench_canonical_repeat",
     "bench_net_send",

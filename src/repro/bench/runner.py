@@ -89,6 +89,7 @@ def _run_orderlesschain(
         gossip_interval=config.gossip_interval,
         gossip_fanout=config.gossip_fanout,
         snapshot_interval=config.snapshot_interval,
+        legacy_digests=config.legacy_digests,
         cache_enabled=config.cache_enabled,
         client_config=ClientConfig(
             max_retries=config.max_retries,

@@ -153,6 +153,7 @@ def _run_chaos(args):
             resilience=getattr(args, "resilience", False),
             max_retries=getattr(args, "retries", 0),
             snapshot_interval=getattr(args, "snapshot_interval", 0.0),
+            legacy_digests=getattr(args, "legacy_digests", False),
         )
         report = result.check_report
         failed = failed or not report.ok
@@ -434,6 +435,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="chaos only: organization checkpoint period in simulated seconds"
         " (0 disables snapshot-based recovery)",
+    )
+    run.add_argument(
+        "--legacy-digests",
+        action="store_true",
+        help="chaos only: full-id-set anti-entropy digests instead of"
+        " watermark digests — the A/B ablation arm (docs/PERFORMANCE.md)",
     )
     run.set_defaults(func=_cmd_run)
 

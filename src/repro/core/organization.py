@@ -14,10 +14,10 @@ bounded CPU use and the locking limitation).
 
 from __future__ import annotations
 
-import hashlib
 import random
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
+from repro.core.antientropy import CommittedIndex, WatermarkDigest
 from repro.core.byzantine import ByzantineOrgConfig
 from repro.core.contract import ContractContext, SmartContract, StateReader
 from repro.core.perf import PerfModel
@@ -62,6 +62,7 @@ class Organization:
         gossip_ttl: int = 3,
         sync_interval: float = 5.0,
         snapshot_interval: float = 0.0,
+        legacy_digests: bool = False,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -92,6 +93,16 @@ class Organization:
         # (e.g. across a healed partition). 0 disables it.
         self.sync_interval = sync_interval
         self._valid_txn_wire: Dict[str, Dict[str, Any]] = {}
+        # Watermark-based anti-entropy (repro.core.antientropy): the
+        # committed set summarized incrementally at commit time as
+        # per-client watermarks + gap ranges, an insertion-ordered id
+        # log, and a running order-independent state digest — so no
+        # sync/snapshot/recovery call site ever sorts or copies the
+        # full set. ``legacy_digests=True`` keeps the old full-set
+        # digest wire format (byte-identical event order) for A/B
+        # ablations; the index is maintained either way.
+        self.legacy_digests = legacy_digests
+        self._commit_index = CommittedIndex()
         # Snapshot-based crash recovery (docs/RESILIENCE.md): with a
         # positive interval, a background loop periodically checkpoints
         # the committed-transaction set; recover() then replays only
@@ -375,6 +386,7 @@ class Organization:
             self.committed_valid += 1
             self._gossip_backlog.append((wire, self.gossip_ttl))
             self._valid_txn_wire[txn_id] = wire
+            self._commit_index.add(txn_id)
             for operation in operations:
                 self._txns_by_object.setdefault(operation.object_id, set()).add(txn_id)
             if via_gossip:
@@ -473,7 +485,9 @@ class Organization:
             fanout = min(self.gossip_fanout, len(self.peer_ids))
             targets = self.rng.sample(self.peer_ids, fanout)
             size = sum(
-                400 + self.perf.per_op_bytes * len(txn["write_set"]) for txn in batch
+                self.perf.gossip_txn_base_bytes
+                + self.perf.per_op_bytes * len(txn["write_set"])
+                for txn in batch
             )
             for target in targets:
                 self.network.send(
@@ -505,15 +519,56 @@ class Organization:
 
     # -- anti-entropy reconciliation ---------------------------------------------
 
+    def _digest_body_and_size(self) -> tuple[Dict[str, Any], int]:
+        """The digest wire form + modeled size for the active mode.
+
+        Legacy: the full sorted id list, ``digest_base_bytes +
+        digest_per_id_bytes`` per id — O(n) bytes and O(n log n) work
+        per round. Watermark: the per-client watermark + gap summary,
+        O(clients + gaps) bytes and O(clients) work, read straight off
+        the incrementally maintained :class:`CommittedIndex`.
+        """
+        if self.legacy_digests:
+            txn_ids = sorted(self._valid_txn_wire)
+            return {"txn_ids": txn_ids}, self.perf.legacy_digest_bytes(len(txn_ids))
+        marks = self._commit_index.watermarks
+        return (
+            {"watermarks": marks.to_wire()},
+            self.perf.watermark_digest_bytes(marks.client_count, marks.gap_count),
+        )
+
+    def _send_digest(self, recipient: str, context: str) -> None:
+        body, size = self._digest_body_and_size()
+        self.network.send(
+            Message(
+                sender=self.org_id,
+                recipient=recipient,
+                msg_type=MSG_SYNC_DIGEST,
+                body=body,
+                size_bytes=size,
+            )
+        )
+        if self.tracer is not None:
+            self.tracer.instant(
+                "org/sync_digest",
+                self.sim.now,
+                node=self.org_id,
+                attrs={
+                    "mode": "legacy" if self.legacy_digests else "watermark",
+                    "bytes": size,
+                    "context": context,
+                },
+            )
+
     def _antientropy_loop(self):
         """Periodically exchange transaction digests with one peer.
 
         Push gossip alone cannot reconcile replicas once a
         transaction's push rounds are spent — most visibly across a
         healed network partition (Section 3's CAP discussion). The
-        digest exchange is the classic anti-entropy repair: send the
-        set of committed transaction ids; the peer requests what it is
-        missing and receives it as a gossip batch.
+        digest exchange is the classic anti-entropy repair: send a
+        digest of the committed transaction ids; the peer requests
+        what it is missing and receives it as a gossip batch.
         """
         while True:
             yield self.sim.timeout(self.sync_interval)
@@ -526,79 +581,121 @@ class Organization:
             ):
                 continue
             target = self.rng.choice(self.peer_ids)
-            txn_ids = sorted(self._valid_txn_wire)
-            self.network.send(
-                Message(
-                    sender=self.org_id,
-                    recipient=target,
-                    msg_type=MSG_SYNC_DIGEST,
-                    body={"txn_ids": txn_ids},
-                    size_bytes=64 + 24 * len(txn_ids),
-                )
-            )
+            self._send_digest(target, context="sync")
 
     def _handle_sync_digest(self, message: Message) -> None:
         """Push-pull reconciliation against a peer's digest.
 
-        Pull: request the transactions the digest lists that we lack.
+        Pull: request the transactions the digest covers that we lack.
         Push: send back (as a gossip batch) the valid transactions we
-        hold that the digest does not list — this is what lets a
+        hold that the digest does not cover — this is what lets a
         recovered organization catch up by *announcing* its (stale)
         digest to peers (see :meth:`resync`), and halves the number of
         anti-entropy rounds needed after a partition heals.
+
+        Watermark digests reconstruct both sides of the symmetric
+        difference from watermark deltas (O(clients + gaps +
+        divergence)); the legacy path set-diffs the full id list.
         """
-        digest = set(message.body["txn_ids"])
-        missing = [
-            txn_id
-            for txn_id in message.body["txn_ids"]
-            if not self.ledger.has_transaction(txn_id)
-        ]
+        body = message.body
+        if "watermarks" in body:
+            remote = WatermarkDigest.from_wire(body["watermarks"])
+            missing = [
+                txn_id
+                for txn_id in self._commit_index.missing_from(remote)
+                if not self.ledger.has_transaction(txn_id)
+            ]
+            surplus = list(self._commit_index.surplus_over(remote))
+        else:
+            digest = set(body["txn_ids"])
+            missing = [
+                txn_id
+                for txn_id in body["txn_ids"]
+                if not self.ledger.has_transaction(txn_id)
+            ]
+            surplus = [
+                txn_id
+                for txn_id in sorted(self._valid_txn_wire)
+                if txn_id not in digest
+            ]
+        pages = 0
         if missing:
+            pages += self._send_sync_requests(message.sender, missing)
+        if surplus:
+            pages += self._send_txn_batches(
+                message.sender, (self._valid_txn_wire[txn_id] for txn_id in surplus)
+            )
+        if self.tracer is not None:
+            self.tracer.instant(
+                "org/sync_reconcile",
+                self.sim.now,
+                node=self.org_id,
+                attrs={
+                    "mode": "watermark" if "watermarks" in body else "legacy",
+                    "missing": len(missing),
+                    "surplus": len(surplus),
+                    "pages": pages,
+                },
+            )
+
+    def _send_sync_requests(self, recipient: str, txn_ids: List[str]) -> int:
+        """Request ids from a peer, paginated in watermark mode."""
+        page = len(txn_ids) if self.legacy_digests else max(1, self.perf.sync_page_txns)
+        pages = 0
+        for start in range(0, len(txn_ids), page):
+            chunk = txn_ids[start : start + page]
             self.network.send(
                 Message(
                     sender=self.org_id,
-                    recipient=message.sender,
+                    recipient=recipient,
                     msg_type=MSG_SYNC_REQUEST,
-                    body={"txn_ids": missing},
-                    size_bytes=64 + 24 * len(missing),
+                    body={"txn_ids": chunk},
+                    size_bytes=self.perf.legacy_digest_bytes(len(chunk)),
                 )
             )
-        surplus = [
-            self._valid_txn_wire[txn_id]
-            for txn_id in sorted(self._valid_txn_wire)
-            if txn_id not in digest
-        ]
-        if surplus:
+            pages += 1
+        return pages
+
+    def _send_txn_batches(self, recipient: str, wires: Iterable[Dict[str, Any]]) -> int:
+        """Ship transaction wires as gossip batches.
+
+        In watermark mode batches are capped at ``sync_page_txns``
+        transactions so a freshly recovered organization receives its
+        backlog as a paginated stream, never one unbounded message;
+        the legacy path keeps the old single-message behavior.
+        """
+        wires = list(wires)
+        if not wires:
+            return 0
+        page = len(wires) if self.legacy_digests else max(1, self.perf.sync_page_txns)
+        pages = 0
+        for start in range(0, len(wires), page):
+            chunk = wires[start : start + page]
             size = sum(
-                400 + self.perf.per_op_bytes * len(txn["write_set"]) for txn in surplus
+                self.perf.gossip_txn_base_bytes
+                + self.perf.per_op_bytes * len(txn["write_set"])
+                for txn in chunk
             )
             self.network.send(
                 Message(
                     sender=self.org_id,
-                    recipient=message.sender,
+                    recipient=recipient,
                     msg_type=MSG_GOSSIP,
-                    body={"transactions": surplus},
+                    body={"transactions": chunk},
                     size_bytes=size,
                 )
             )
+            pages += 1
+        return pages
 
     def _handle_sync_request(self, message: Message) -> None:
-        batch = [
-            self._valid_txn_wire[txn_id]
-            for txn_id in message.body["txn_ids"]
-            if txn_id in self._valid_txn_wire
-        ]
-        if not batch:
-            return
-        size = sum(400 + self.perf.per_op_bytes * len(txn["write_set"]) for txn in batch)
-        self.network.send(
-            Message(
-                sender=self.org_id,
-                recipient=message.sender,
-                msg_type=MSG_GOSSIP,
-                body={"transactions": batch},
-                size_bytes=size,
-            )
+        self._send_txn_batches(
+            message.sender,
+            (
+                self._valid_txn_wire[txn_id]
+                for txn_id in message.body["txn_ids"]
+                if txn_id in self._valid_txn_wire
+            ),
         )
 
     # -- crash / recovery (fault injection) ---------------------------------------
@@ -623,38 +720,36 @@ class Organization:
         """
         self.crashed = False
         self.ledger.rebuild_cache()
-        txn_ids = sorted(self._valid_txn_wire)
         for target in self.peer_ids:
-            self.network.send(
-                Message(
-                    sender=self.org_id,
-                    recipient=target,
-                    msg_type=MSG_SYNC_DIGEST,
-                    body={"txn_ids": txn_ids},
-                    size_bytes=64 + 24 * len(txn_ids),
-                )
-            )
+            self._send_digest(target, context="resync")
 
     # -- snapshot checkpoints (docs/RESILIENCE.md) ---------------------------------
 
     def _state_digest(self) -> str:
-        """Order-independent digest of the valid committed set."""
-        material = "\n".join(sorted(self._valid_txn_wire))
-        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+        """Order-independent digest of the valid committed set.
+
+        Read in O(1) off the running per-id SHA-256 XOR accumulator the
+        :class:`CommittedIndex` updates at commit time — the old
+        implementation sorted and joined every id (O(n log n)) on each
+        checkpoint.
+        """
+        return self._commit_index.state_digest()
 
     def _snapshot_loop(self):
         """Periodically checkpoint the committed set for fast recovery.
 
         The checkpoint's CPU cost is proportional to what changed since
         the previous snapshot (incremental checkpointing); the snapshot
-        itself is the durable marker :meth:`recover` replays from.
+        itself is the durable marker :meth:`recover` replays from. It
+        stores only the commit-log position, count, and state digest —
+        O(1) per checkpoint, never a copy of the full id set.
         """
         while True:
             yield self.sim.timeout(self.snapshot_interval)
             if self.crashed:
                 continue
             known = len(self._valid_txn_wire)
-            prev = len(self._snapshot["txn_ids"]) if self._snapshot is not None else 0
+            prev = self._snapshot["count"] if self._snapshot is not None else 0
             new = max(0, known - prev)
             if self._snapshot is not None and new == 0:
                 continue  # nothing committed since the last checkpoint
@@ -662,7 +757,8 @@ class Organization:
                 self.perf.snapshot_base + self.perf.snapshot_per_txn * new
             )
             self._snapshot = {
-                "txn_ids": set(self._valid_txn_wire),
+                "log_position": len(self._commit_index.log),
+                "count": known,
                 "digest": self._state_digest(),
                 "taken_at": self.sim.now,
             }
@@ -695,8 +791,9 @@ class Organization:
 
     def _recover_from_snapshot(self):
         started = self.sim.now
-        snapshot_ids = self._snapshot["txn_ids"]
-        delta = [txn_id for txn_id in self._valid_txn_wire if txn_id not in snapshot_ids]
+        # The insertion-ordered commit log makes the replay delta a
+        # slice — O(delta), no set copy or full-history membership scan.
+        delta = self._commit_index.log[self._snapshot["log_position"] :]
         yield from self.cpu.serve(
             self.perf.recover_base + self.perf.recover_replay_per_txn * len(delta)
         )
@@ -706,17 +803,8 @@ class Organization:
         # push-pull), without the O(peers) broadcast of resync().
         fanout = min(2, len(self.peer_ids))
         targets = self.rng.sample(self.peer_ids, fanout) if fanout else []
-        txn_ids = sorted(self._valid_txn_wire)
         for target in targets:
-            self.network.send(
-                Message(
-                    sender=self.org_id,
-                    recipient=target,
-                    msg_type=MSG_SYNC_DIGEST,
-                    body={"txn_ids": txn_ids},
-                    size_bytes=64 + 24 * len(txn_ids),
-                )
-            )
+            self._send_digest(target, context="recover")
         if self.tracer is not None:
             self.tracer.span(
                 "org/recover",

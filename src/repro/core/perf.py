@@ -77,6 +77,18 @@ class PerfModel:
     per_op_bytes: int = 140
     receipt_bytes: int = 160
     read_response_bytes: int = 220
+    # Anti-entropy digest / sync wire sizes (docs/PERFORMANCE.md).
+    # The legacy digest ships every committed id (base + per_id * n);
+    # the watermark digest ships one entry per client plus one per gap
+    # range (base + per_client * clients + per_gap * gaps). Sync
+    # requests list explicit ids (per_id each) and responses are
+    # paginated at ``sync_page_txns`` transactions per gossip message.
+    digest_base_bytes: int = 64
+    digest_per_id_bytes: int = 24
+    digest_per_client_bytes: int = 20
+    digest_per_gap_bytes: int = 16
+    gossip_txn_base_bytes: int = 400
+    sync_page_txns: int = 256
 
     def scaled(self, factor: float) -> "PerfModel":
         """Multiply every service time by ``factor`` (sizes/counts kept)."""
@@ -95,6 +107,12 @@ class PerfModel:
             "per_op_bytes",
             "receipt_bytes",
             "read_response_bytes",
+            "digest_base_bytes",
+            "digest_per_id_bytes",
+            "digest_per_client_bytes",
+            "digest_per_gap_bytes",
+            "gossip_txn_base_bytes",
+            "sync_page_txns",
         }
         # Batch intervals and the synchrony bound are latency constants
         # (like the WAN delay), not service rates — scaling them would
@@ -114,6 +132,18 @@ class PerfModel:
 
     def endorsement_bytes(self, op_count: int) -> int:
         return self.endorsement_base_bytes + self.per_op_bytes * op_count
+
+    def legacy_digest_bytes(self, id_count: int) -> int:
+        """Full-set digest / sync-request size: every id on the wire."""
+        return self.digest_base_bytes + self.digest_per_id_bytes * id_count
+
+    def watermark_digest_bytes(self, client_count: int, gap_count: int) -> int:
+        """Watermark digest size: O(clients + gap ranges), not O(n)."""
+        return (
+            self.digest_base_bytes
+            + self.digest_per_client_bytes * client_count
+            + self.digest_per_gap_bytes * gap_count
+        )
 
 
 __all__ = ["PerfModel"]

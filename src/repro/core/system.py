@@ -45,6 +45,11 @@ class OrderlessChainSettings:
     # Snapshot-based crash recovery (docs/RESILIENCE.md); 0 keeps the
     # legacy full-resync recovery and takes no checkpoints.
     snapshot_interval: float = 0.0
+    # Anti-entropy digest wire format (docs/PERFORMANCE.md): False (the
+    # default) exchanges O(clients + gaps) watermark digests; True is
+    # the ablation arm that ships the full committed-id set per round
+    # (the pre-watermark behavior, byte-identical event order).
+    legacy_digests: bool = False
     cache_enabled: bool = True
     client_config: ClientConfig = field(default_factory=ClientConfig)
 
@@ -91,6 +96,7 @@ class OrderlessChainNetwork:
                 gossip_ttl=settings.gossip_ttl,
                 sync_interval=settings.sync_interval,
                 snapshot_interval=settings.snapshot_interval,
+                legacy_digests=settings.legacy_digests,
             )
             self.organizations.append(org)
         org_ids = [org.org_id for org in self.organizations]

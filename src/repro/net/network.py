@@ -91,6 +91,12 @@ class Network:
         # ``down``, ``partition``, ``loss``, ``delivery_down``,
         # ``delivery_partition``. Values sum to ``dropped_count``.
         self.drops_by_reason: Dict[str, int] = {}
+        # Per-message-type traffic accounting (counts and modeled wire
+        # bytes), tallied at send time before any drop decision — the
+        # anti-entropy scaling benchmark reads digest bytes from here
+        # (docs/PERFORMANCE.md).
+        self.sent_by_type: Dict[str, int] = {}
+        self.bytes_by_type: Dict[str, int] = {}
         # Messages scheduled for delivery but not yet delivered; sampled
         # by the observability layer as the ``net/in_flight`` gauge.
         self.in_flight = 0
@@ -171,6 +177,11 @@ class Network:
     def send(self, message: Message) -> None:
         """Send asynchronously; delivery (if any) happens later."""
         self.sent_count += 1
+        msg_type = message.msg_type
+        self.sent_by_type[msg_type] = self.sent_by_type.get(msg_type, 0) + 1
+        self.bytes_by_type[msg_type] = (
+            self.bytes_by_type.get(msg_type, 0) + message.size_bytes
+        )
         if message.recipient not in self._handlers:
             self._drop("unregistered")
             return

@@ -272,6 +272,25 @@ _SPECS: List[MetricSpec] = [
         "Snapshot-based crash recovery: delta replay plus targeted "
         "anti-entropy. attrs: mode, replayed, peers.",
     ),
+    # -- watermark anti-entropy (docs/PERFORMANCE.md) --------------------------------
+    _spec(
+        "org/sync_digest",
+        INSTANT,
+        "core.organization.Organization",
+        "-",
+        "An anti-entropy digest was sent. attrs: mode "
+        "(watermark|legacy), bytes (modeled wire size), context "
+        "(sync|resync|recover).",
+    ),
+    _spec(
+        "org/sync_reconcile",
+        INSTANT,
+        "core.organization.Organization",
+        "-",
+        "A received digest was reconciled against local state. attrs: "
+        "mode, missing (ids requested), surplus (txns pushed), pages "
+        "(sync messages sent).",
+    ),
     # -- report pipeline (repro.report.pipeline) -----------------------------------
     # These are the only spans measured in *wall* seconds: they time the
     # report pipeline itself (the harness), not the simulation.

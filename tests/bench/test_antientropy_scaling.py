@@ -1,0 +1,72 @@
+"""Anti-entropy digest scaling: watermarks flat, legacy linear.
+
+Runs the ``orderless/antientropy`` perf workload at smoke scale and
+asserts the *shape* claim behind the watermark subsystem: per-round
+digest bytes are bounded by clients + gap ranges (independent of how
+many transactions have committed), while the legacy full-set digest
+grows with run length. Modeled byte counts are deterministic in
+simulated time, so unlike wall-clock numbers these assertions are
+stable on loaded machines.
+"""
+
+import pytest
+
+from repro.bench.perfbench import bench_antientropy
+from repro.core.perf import PerfModel
+
+pytestmark = pytest.mark.perf_smoke
+
+# Must match the workload's ExperimentConfig (num_clients=1000, scale=20).
+EFFECTIVE_CLIENTS = 50
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    record = bench_antientropy(smoke=True)
+    return record["watermark"], record["legacy"]
+
+
+def test_sweeps_cover_growing_runs(sweeps):
+    watermark, legacy = sweeps
+    assert len(watermark) == len(legacy) >= 2
+    for arm in (watermark, legacy):
+        committed = [run["committed_txns"] for run in arm]
+        assert committed == sorted(committed) and committed[-1] > committed[0]
+        assert all(run["rounds"] > 0 for run in arm)
+
+
+def test_watermark_digest_bytes_flat_in_run_length(sweeps):
+    watermark, _ = sweeps
+    first, last = watermark[0], watermark[-1]
+    # Committed history roughly doubles; the digest must not follow.
+    assert last["committed_txns"] >= 1.8 * first["committed_txns"]
+    assert last["digest_bytes_per_round"] <= 1.5 * first["digest_bytes_per_round"]
+
+
+def test_legacy_digest_bytes_grow_with_run_length(sweeps):
+    _, legacy = sweeps
+    first, last = legacy[0], legacy[-1]
+    assert last["digest_bytes_per_round"] >= 1.4 * first["digest_bytes_per_round"]
+
+
+def test_watermark_bounded_by_clients_and_gaps_not_committed_count(sweeps):
+    watermark, legacy = sweeps
+    perf = PerfModel()
+    for run in watermark:
+        # A generous envelope: every client present plus one gap range
+        # per client. The committed-count-proportional legacy size
+        # blows through this within a few simulated seconds.
+        bound = perf.watermark_digest_bytes(EFFECTIVE_CLIENTS, EFFECTIVE_CLIENTS)
+        assert run["digest_bytes_per_round"] <= bound
+        assert run["digest_bytes_per_round"] >= perf.digest_base_bytes
+    assert legacy[-1]["digest_bytes_per_round"] > perf.watermark_digest_bytes(
+        EFFECTIVE_CLIENTS, EFFECTIVE_CLIENTS
+    )
+
+
+def test_arms_commit_the_same_workload(sweeps):
+    # The ablation changes digest traffic, not what commits.
+    watermark, legacy = sweeps
+    for w_run, l_run in zip(watermark, legacy):
+        assert w_run["committed_txns"] == l_run["committed_txns"]
+        assert w_run["rounds"] == l_run["rounds"]

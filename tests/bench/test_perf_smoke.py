@@ -31,6 +31,7 @@ EXPECTED_WORKLOADS = {
     "crypto/verify_fresh",
     "net/send",
     "orderless/events",
+    "orderless/antientropy",
 }
 
 

@@ -12,12 +12,14 @@ from repro.faults import FaultSchedule, default_node_ids, install_schedule, smok
 SYSTEMS = ("orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff")
 
 
-def build_system(system: str, seed: int, num_orgs: int = 4, quorum: int = 2):
+def build_system(system: str, seed: int, num_orgs: int = 4, quorum: int = 2, **settings_kwargs):
     if system == "orderlesschain":
         from repro.contracts import VotingContract
         from repro.core import OrderlessChainNetwork, OrderlessChainSettings
 
-        settings = OrderlessChainSettings(num_orgs=num_orgs, quorum=quorum, seed=seed)
+        settings = OrderlessChainSettings(
+            num_orgs=num_orgs, quorum=quorum, seed=seed, **settings_kwargs
+        )
         net = OrderlessChainNetwork(settings)
         net.install_contract(lambda: VotingContract(parties_per_election=2))
         return net
@@ -69,11 +71,20 @@ def chaos_run(
     until: float = 60.0,
     num_orgs: int = 4,
     clients: int = 4,
+    **settings_kwargs,
 ):
-    """One full chaos run; returns ``(net, schedule)`` after the drain."""
+    """One full chaos run; returns ``(net, schedule)`` after the drain.
+
+    Extra keyword arguments reach ``OrderlessChainSettings``
+    (orderlesschain only) — e.g. ``legacy_digests=True`` for the
+    anti-entropy ablation arm or ``snapshot_interval`` for
+    snapshot-based recovery.
+    """
     if schedule is None:
         schedule = smoke_schedule(default_node_ids(system, num_orgs))
-    net = build_system(system, seed, num_orgs=num_orgs)
+    if settings_kwargs and system != "orderlesschain":
+        raise ValueError(f"settings kwargs are orderlesschain-only, got {settings_kwargs}")
+    net = build_system(system, seed, num_orgs=num_orgs, **settings_kwargs)
     add_workload(net, system, clients=clients)
     injector = install_schedule(net, schedule)
     net.run(until=until)

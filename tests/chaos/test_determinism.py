@@ -47,6 +47,14 @@ def test_golden_seed_fingerprint(system):
     )
 
 
+def test_golden_seed_fingerprint_legacy_digests():
+    # The --legacy-digests ablation arm must reproduce the pre-watermark
+    # behavior byte-for-byte: same digest contents, sizes, and message
+    # order, hence the same pinned golden as the watermark default.
+    net, _ = chaos_run("orderlesschain", seed=1, legacy_digests=True)
+    assert run_fingerprint(net) == GOLDEN_SEED1["orderlesschain"]
+
+
 def test_different_seeds_differ():
     # Not a guarantee in principle, but with distinct RNG streams these
     # scenarios diverge in practice; catching fingerprints that ignore

@@ -1,0 +1,132 @@
+"""Unit tests of the organization's watermark anti-entropy plumbing.
+
+Covers the digest wire forms and modeled sizes per mode, sync-response
+pagination, the O(1) snapshot payload (log position + count, never a
+copy of the committed set), and end-to-end reconciliation through a
+partition heal in both modes.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.contracts import VotingContract
+from repro.core import OrderlessChainNetwork, OrderlessChainSettings
+from repro.core.organization import MSG_GOSSIP, MSG_SYNC_DIGEST, MSG_SYNC_REQUEST
+
+
+def build_net(**settings_kwargs):
+    settings = OrderlessChainSettings(num_orgs=4, quorum=2, seed=1, **settings_kwargs)
+    net = OrderlessChainNetwork(settings)
+    net.install_contract(lambda: VotingContract(parties_per_election=2))
+    return net
+
+
+def run_votes(net, votes=6, until=30.0):
+    def vote(client, index, delay):
+        yield net.sim.timeout(delay)
+        yield net.sim.process(
+            client.submit_modify(
+                "voting", "vote", {"party": f"party{index % 2}", "election": "e0"}
+            )
+        )
+
+    for index in range(votes):
+        client = net.add_client(f"c{index}")
+        net.sim.process(vote(client, index, 0.2 + 0.5 * index))
+    net.run(until=until)
+    return net
+
+
+class TestDigestBody:
+    def test_watermark_body_and_size(self):
+        net = run_votes(build_net())
+        org = net.organizations[0]
+        assert len(org._valid_txn_wire) > 0
+        body, size = org._digest_body_and_size()
+        assert "watermarks" in body and "txn_ids" not in body
+        marks = org._commit_index.watermarks
+        assert size == org.perf.watermark_digest_bytes(
+            marks.client_count, marks.gap_count
+        )
+        # The watermark digest covers exactly the committed set.
+        assert set(marks.ids()) == set(org._valid_txn_wire)
+
+    def test_legacy_body_and_size(self):
+        net = run_votes(build_net(legacy_digests=True))
+        org = net.organizations[0]
+        body, size = org._digest_body_and_size()
+        assert body == {"txn_ids": sorted(org._valid_txn_wire)}
+        assert size == org.perf.legacy_digest_bytes(len(org._valid_txn_wire))
+
+    def test_watermark_digest_is_smaller_for_long_histories(self):
+        net = run_votes(build_net(), votes=8, until=40.0)
+        org = net.organizations[0]
+        _, watermark_size = org._digest_body_and_size()
+        legacy_size = org.perf.legacy_digest_bytes(len(org._valid_txn_wire))
+        assert watermark_size < legacy_size
+
+
+class TestSnapshots:
+    def test_snapshot_stores_position_not_id_set(self):
+        net = run_votes(build_net(snapshot_interval=5.0))
+        org = net.organizations[0]
+        assert org.snapshots_taken > 0
+        snapshot = org._snapshot
+        assert set(snapshot) == {"log_position", "count", "digest", "taken_at"}
+        assert snapshot["count"] == len(org._valid_txn_wire)
+        assert snapshot["log_position"] == len(org._commit_index.log)
+        assert snapshot["digest"] == org._state_digest()
+
+    def test_state_digest_matches_across_converged_orgs(self):
+        net = run_votes(build_net())
+        digests = {org._state_digest() for org in net.organizations}
+        assert len(digests) == 1
+        counts = {len(org._valid_txn_wire) for org in net.organizations}
+        assert counts != {0}
+
+
+class TestPagination:
+    def test_sync_responses_paginate_in_watermark_mode(self):
+        net = build_net()
+        org = net.organizations[0]
+        org.perf = replace(org.perf, sync_page_txns=2)
+        wires = [{"write_set": []} for _ in range(5)]
+        before = net.network.sent_by_type.get(MSG_GOSSIP, 0)
+        pages = org._send_txn_batches(net.organizations[1].org_id, wires)
+        assert pages == 3
+        assert net.network.sent_by_type.get(MSG_GOSSIP, 0) - before == 3
+
+    def test_sync_requests_single_message_in_legacy_mode(self):
+        net = build_net(legacy_digests=True)
+        org = net.organizations[0]
+        org.perf = replace(org.perf, sync_page_txns=2)
+        ids = [f"c:{n}" for n in range(1, 8)]
+        pages = org._send_sync_requests(net.organizations[1].org_id, ids)
+        assert pages == 1
+        assert net.network.sent_by_type.get(MSG_SYNC_REQUEST, 0) == 1
+
+
+@pytest.mark.parametrize("legacy", [False, True])
+def test_partition_heal_reconciles_through_sync(legacy):
+    """Anti-entropy must repair a healed partition in both modes."""
+    net = build_net(legacy_digests=legacy, sync_interval=2.0)
+    orgs = [org.org_id for org in net.organizations]
+    net.sim.schedule_at(0.1, lambda: net.network.partition(set(orgs[:2]), set(orgs[2:])))
+    net.sim.schedule_at(12.0, net.network.heal_partition)
+
+    def vote(client, index, delay):
+        yield net.sim.timeout(delay)
+        yield net.sim.process(
+            client.submit_modify(
+                "voting", "vote", {"party": f"party{index % 2}", "election": "e0"}
+            )
+        )
+
+    for index in range(4):
+        client = net.add_client(f"c{index}")
+        net.sim.process(vote(client, index, 0.5 + 2.0 * index))
+    net.run(until=40.0)
+    assert net.network.sent_by_type.get(MSG_SYNC_DIGEST, 0) > 0
+    assert net.converged()
+    assert len({org._state_digest() for org in net.organizations}) == 1
