@@ -45,6 +45,7 @@ from repro.net.latency import LatencyModel
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim.core import Simulator
+from repro.sim.nondeterminism import ExploreProfile
 from repro.sim.events import AnyOf, Event
 from repro.sim.resources import Resource
 from repro.sim.rng import RngRegistry
@@ -71,6 +72,9 @@ class BIDLSettings:
     seed: int = 0
     perf: PerfModel = field(default_factory=PerfModel)
     latency: LatencyModel = field(default_factory=LatencyModel)
+    # Controlled nondeterminism for schedule exploration
+    # (repro.sim.nondeterminism); None keeps the golden-seed order.
+    explore: Optional[ExploreProfile] = None
     commit_timeout: float = 240.0
 
     def __post_init__(self) -> None:
@@ -264,6 +268,9 @@ class BIDLNetwork:
         self.sim = Simulator()
         self.rng = RngRegistry(seed=settings.seed)
         self.network = Network(self.sim, self.rng.stream("net"), latency=settings.latency)
+        if settings.explore is not None:
+            # Before anything is scheduled, so heap keys stay homogeneous.
+            settings.explore.install(self.sim, self.network)
         self.recorder = TransactionRecorder()
         self.tracer = None
         self.orgs = [BIDLOrg(self, f"org{i}") for i in range(settings.num_orgs)]

@@ -34,6 +34,7 @@ from repro.net.latency import LatencyModel
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim.core import Simulator
+from repro.sim.nondeterminism import ExploreProfile
 from repro.sim.events import AnyOf, Event
 from repro.sim.resources import Resource
 from repro.sim.rng import RngRegistry
@@ -107,6 +108,9 @@ class FabricCRDTSettings:
     seed: int = 0
     perf: PerfModel = field(default_factory=PerfModel)
     latency: LatencyModel = field(default_factory=LatencyModel)
+    # Controlled nondeterminism for schedule exploration
+    # (repro.sim.nondeterminism); None keeps the golden-seed order.
+    explore: Optional[ExploreProfile] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.quorum <= self.num_orgs:
@@ -368,6 +372,9 @@ class FabricCRDTNetwork:
         self.sim = Simulator()
         self.rng = RngRegistry(seed=settings.seed)
         self.network = Network(self.sim, self.rng.stream("net"), latency=settings.latency)
+        if settings.explore is not None:
+            # Before anything is scheduled, so heap keys stay homogeneous.
+            settings.explore.install(self.sim, self.network)
         self.recorder = TransactionRecorder()
         self.tracer = None
         self.peers = [FabricCRDTPeer(self, f"peer{i}") for i in range(settings.num_orgs)]

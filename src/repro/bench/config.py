@@ -15,6 +15,7 @@ from typing import Optional, Sequence, Tuple
 from repro.core.perf import PerfModel
 from repro.errors import ConfigError
 from repro.faults.schedule import FaultSchedule
+from repro.sim.nondeterminism import ExploreProfile
 
 SYSTEMS = ("orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff")
 APPS = ("synthetic", "voting", "auction")
@@ -96,6 +97,12 @@ class ExperimentConfig:
     # docs/FAULTS.md.
     fault_schedule: Optional[FaultSchedule] = None
     check: bool = False
+    # Schedule exploration (repro.explore): a controlled-nondeterminism
+    # profile permuting same-time ties and/or jittering deliveries, and
+    # an optional planted protocol bug activated for this run only (the
+    # explorer's mutation smoke). None/None is the historical behavior.
+    explore: Optional[ExploreProfile] = None
+    planted_bug: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -116,6 +123,15 @@ class ExperimentConfig:
             raise ConfigError(
                 f"sample_interval must be >= 0, got {self.sample_interval}"
             )
+        if self.planted_bug is not None:
+            # Imported lazily: repro.explore depends on this module.
+            from repro.explore.plant import PLANTED_BUGS
+
+            if self.planted_bug not in PLANTED_BUGS:
+                raise ConfigError(
+                    f"unknown planted bug {self.planted_bug!r}; "
+                    f"valid: {sorted(PLANTED_BUGS)}"
+                )
 
     # -- derived, scale-adjusted quantities --------------------------------
 

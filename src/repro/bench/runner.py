@@ -91,6 +91,7 @@ def _run_orderlesschain(
         snapshot_interval=config.snapshot_interval,
         legacy_digests=config.legacy_digests,
         cache_enabled=config.cache_enabled,
+        explore=config.explore,
         client_config=ClientConfig(
             max_retries=config.max_retries,
             avoid_byzantine=config.avoid_byzantine,
@@ -181,6 +182,7 @@ def _run_fabric(
             app=config.app,
             seed=config.seed,
             perf=config.perf(),
+            explore=config.explore,
         )
     )
     if obs is not None:
@@ -216,6 +218,7 @@ def _run_fabriccrdt(
             app=config.app,
             seed=config.seed,
             perf=config.perf(),
+            explore=config.explore,
         )
     )
     if obs is not None:
@@ -250,6 +253,7 @@ def _run_bidl(
             app=config.app,
             seed=config.seed,
             perf=config.perf(),
+            explore=config.explore,
         )
     )
     if obs is not None:
@@ -284,6 +288,7 @@ def _run_synchotstuff(
             app=config.app,
             seed=config.seed,
             perf=config.perf(),
+            explore=config.explore,
         )
     )
     if obs is not None:
@@ -340,6 +345,7 @@ def run_experiment(
     deterministic fingerprint (docs/FAULTS.md).
     """
     from repro.checkers import run_checkers, run_fingerprint
+    from repro.explore.plant import planted
     from repro.faults import install_schedule
 
     workload = make_workload(config)
@@ -355,14 +361,20 @@ def run_experiment(
             tracer = obs.recorder if obs is not None else None
             injector = install_schedule(net, config.fault_schedule, tracer=tracer)
 
-    net, extra = _RUNNERS[config.system](config, workload, obs, prepare)
-    if injector is not None:
-        injector.finalize()
-    check_report = None
-    fingerprint = None
-    if config.check:
-        check_report = run_checkers(net, schedule=config.fault_schedule)
-        fingerprint = run_fingerprint(net)
+    # The planted-bug patch (a no-op for planted_bug=None) covers the
+    # run AND the oracle pass: the checkers must see the world the
+    # buggy code produced (e.g. state snapshots replayed through the
+    # buggy CRDT merge). It is restored before returning, which also
+    # protects reused sweep-pool workers from a leaked patch.
+    with planted(config.planted_bug):
+        net, extra = _RUNNERS[config.system](config, workload, obs, prepare)
+        if injector is not None:
+            injector.finalize()
+        check_report = None
+        fingerprint = None
+        if config.check:
+            check_report = run_checkers(net, schedule=config.fault_schedule)
+            fingerprint = run_fingerprint(net)
     return compute_result(
         net.recorder,
         system=config.system,

@@ -10,6 +10,8 @@ Usage::
     python -m repro report --quick --jobs 2
     python -m repro report --quick --check
     python -m repro check-iconfluence voting
+    python -m repro explore --executions 50 --strategy coverage
+    python -m repro explore --replay bug.schedule.json
 """
 
 from __future__ import annotations
@@ -341,6 +343,64 @@ def _cmd_report(args) -> int:
     return outcome.exit_code
 
 
+def _cmd_explore(args) -> int:
+    """Schedule exploration: fuzz interleavings, minimize, replay.
+
+    See docs/TESTING.md. Exit codes: 0 = no violation (or a replay
+    that reproduced its artifact), 1 = violation found (artifact
+    written) or replay mismatch.
+    """
+    from repro.bench.config import SYSTEMS
+    from repro.explore import explore, replay
+
+    if args.replay:
+        result = replay(args.replay)
+        case = result.artifact.case
+        print(f"replaying {args.replay}: {case.system}/{case.app} seed={case.seed}")
+        print(f"  expected fingerprint: {result.artifact.fingerprint}")
+        print(f"  replayed fingerprint: {result.fingerprint}")
+        print(f"  deterministic: {result.deterministic}")
+        print(f"  failing oracles: {', '.join(result.failures) or '(none)'}")
+        if result.reproduced:
+            print("replay: reproduced byte-identically")
+            return 0
+        print("replay: MISMATCH — the counterexample did not reproduce")
+        return 1
+
+    systems = [args.system] if args.system else list(SYSTEMS)
+    outcome = explore(
+        systems=systems,
+        app=args.app,
+        executions=args.executions,
+        strategy=args.strategy,
+        seed=args.seed,
+        duration=args.duration,
+        scale=args.scale,
+        jobs=args.jobs or 1,
+        out_dir=args.out_dir,
+        planted_bug=args.plant_bug,
+    )
+    print(
+        f"explored {outcome.executions} execution(s) over {', '.join(outcome.systems)} "
+        f"({outcome.strategy}); {outcome.unique_signatures} unique signature(s)"
+    )
+    if not outcome.found:
+        print("no invariant violation found")
+        return 0
+    artifact = outcome.violation
+    print(f"violation: {', '.join(artifact.failures)} on {artifact.case.system}")
+    print(
+        f"  minimized with {outcome.minimize_executions} extra execution(s): "
+        f"{len(artifact.case.faults)} fault event(s), profile "
+        f"{'active' if artifact.case.profile.active else 'off'}"
+    )
+    print(f"  fingerprint: {artifact.fingerprint}")
+    print(f"  replay verified: {outcome.replay_verified}")
+    print(f"  wrote {outcome.artifact_path}")
+    print(f"  reproduce with: python -m repro explore --replay {outcome.artifact_path}")
+    return 1
+
+
 def _cmd_check_iconfluence(args) -> int:
     from repro.contracts import AuctionContract, VotingContract
     from repro.tools import check_iconfluence
@@ -534,6 +594,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a chrome trace of the pipeline run itself",
     )
     report.set_defaults(func=_cmd_report)
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="fuzz schedules against the invariant oracles; minimize and replay"
+        " counterexamples (docs/TESTING.md)",
+    )
+    explore.add_argument(
+        "--system",
+        choices=["orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff"],
+        default=None,
+        help="explore one system (default: round-robin over all five)",
+    )
+    explore.add_argument("--app", choices=["synthetic", "voting", "auction"], default="voting")
+    explore.add_argument(
+        "--executions", type=int, default=50, help="execution budget for the search"
+    )
+    explore.add_argument(
+        "--strategy",
+        choices=["random", "coverage"],
+        default="random",
+        help="random seed sweeps, or coverage-guided mutation of novel-signature cases",
+    )
+    explore.add_argument("--seed", type=int, default=0, help="seed for the explorer's own draws")
+    explore.add_argument(
+        "--duration", type=float, default=20.0, help="simulated seconds per execution"
+    )
+    explore.add_argument("--scale", type=float, default=None, help="scale-down factor (default: env)")
+    explore.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: 1)",
+    )
+    explore.add_argument(
+        "--out-dir", default=".", help="where counterexample *.schedule.json artifacts go"
+    )
+    explore.add_argument(
+        "--plant-bug",
+        choices=["crdt-merge", "quorum"],
+        default=None,
+        help="seed a known protocol bug (mutation smoke: the explorer must find it)",
+    )
+    explore.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE.schedule.json",
+        help="re-execute a saved counterexample and verify it byte-for-byte",
+    )
+    explore.set_defaults(func=_cmd_explore)
 
     check = subparsers.add_parser(
         "check-iconfluence", help="empirically check a demo contract's I-confluence"

@@ -24,6 +24,7 @@ from repro.net.latency import LatencyModel, LinkFaults
 from repro.net.network import Network
 from repro.crypto.identity import CertificateAuthority
 from repro.sim.core import Simulator
+from repro.sim.nondeterminism import ExploreProfile
 from repro.sim.rng import RngRegistry
 
 
@@ -52,6 +53,11 @@ class OrderlessChainSettings:
     legacy_digests: bool = False
     cache_enabled: bool = True
     client_config: ClientConfig = field(default_factory=ClientConfig)
+    # Controlled nondeterminism for schedule exploration
+    # (repro.sim.nondeterminism): permute same-time event ties and/or
+    # jitter message delivery. None keeps the historical, golden-seed
+    # -pinned event order.
+    explore: Optional[ExploreProfile] = None
 
     def __post_init__(self) -> None:
         if self.num_orgs < 1:
@@ -76,6 +82,10 @@ class OrderlessChainNetwork:
             latency=settings.latency,
             faults=settings.faults,
         )
+        if settings.explore is not None:
+            # Must happen before anything is scheduled (the simulator
+            # enforces this) so every event carries a homogeneous key.
+            settings.explore.install(self.sim, self.network)
         self.policy = EndorsementPolicy(settings.quorum, settings.num_orgs)
         self.recorder = TransactionRecorder()
         self.organizations: List[Organization] = []

@@ -1,0 +1,123 @@
+"""Planted protocol bugs, for proving the explorer finds real ones.
+
+A mutation smoke is only convincing if the seeded bug is (a) a
+realistic implementation mistake and (b) *interleaving-dependent*, so
+finding it requires actually exploring schedules. Each plant here
+monkeypatches protocol classes for the duration of one run and is
+restored afterwards; the invariant oracles are deliberately left
+untouched — they re-verify from ground truth (snapshots, signatures,
+ledger contents), which is exactly why they catch the planted bug
+instead of inheriting it.
+
+Plants draw no randomness and add no events, so a planted run is as
+deterministic as a clean one: a counterexample artifact that records
+its ``planted_bug`` replays to an identical fingerprint.
+
+``crdt-merge``
+    :class:`~repro.crdt.gcounter.GCounter` silently assumes in-order
+    delivery: an increment whose operation id sorts below one it has
+    already applied is dropped. Organizations commit the same valid
+    transactions in different orders (gossip vs direct commit), so
+    their replayed states diverge — but only under interleavings where
+    the orders actually differ per object. Caught by the
+    ``convergence`` oracle.
+
+``quorum``
+    The endorsement plumbing miscounts duplicate endorsements as
+    distinct: the client double-counts every endorsement in the
+    majority group, and organization-side validation counts raw
+    endorsements instead of distinct valid endorsers. Manifests only
+    when a client times out with a *partial* endorsement set (a target
+    org crashed, or a loss burst ate responses) — i.e. only under the
+    right fault timing. Caught by the ``policy-safety`` oracle, which
+    independently re-verifies distinct valid endorsers per committed
+    transaction.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+
+
+def _plant_crdt_merge():
+    """GCounter.apply drops increments that arrive 'out of order'."""
+    from repro.crdt.gcounter import GCounter
+
+    original = GCounter.apply
+
+    def buggy_apply(self, value, clock, op_id):
+        if self._increments and op_id < max(self._increments):
+            return  # assumes ids only ever arrive in ascending order
+        original(self, value, clock, op_id)
+
+    GCounter.apply = buggy_apply
+    return lambda: setattr(GCounter, "apply", original)
+
+
+def _plant_quorum():
+    """Duplicate endorsements miscounted as distinct, on both sides."""
+    from repro.core.client import Client
+    from repro.core.organization import Organization
+
+    original_majority = Client._majority_write_set
+    original_validate = Organization.validate_transaction
+
+    def buggy_majority(endorsements):
+        group = original_majority(endorsements)
+        if group:
+            group = list(group) * 2  # double-counts every endorsement
+        return group
+
+    def buggy_validate(self, transaction):
+        valid, reason = original_validate(self, transaction)
+        if not valid and reason.startswith("endorsement policy"):
+            # Counts raw endorsement entries, not distinct endorsers.
+            if self.policy.satisfied_by(len(transaction.endorsements)):
+                return True, ""
+        return valid, reason
+
+    Client._majority_write_set = staticmethod(buggy_majority)
+    Organization.validate_transaction = buggy_validate
+
+    def restore():
+        Client._majority_write_set = staticmethod(original_majority)
+        Organization.validate_transaction = original_validate
+
+    return restore
+
+
+PLANTED_BUGS = {
+    "crdt-merge": _plant_crdt_merge,
+    "quorum": _plant_quorum,
+}
+
+
+@contextmanager
+def planted(kind: Optional[str]) -> Iterator[None]:
+    """Activate one planted bug for the duration of the block.
+
+    ``None`` is a no-op, so the experiment runner can wrap every run
+    unconditionally. Restoration is guaranteed even on failure — sweep
+    worker processes are reused across runs, and a leaked patch would
+    corrupt the *next* (clean) run in the same worker.
+    """
+    if kind is None:
+        yield
+        return
+    try:
+        factory = PLANTED_BUGS[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown planted bug {kind!r}; valid: {sorted(PLANTED_BUGS)}"
+        ) from None
+    restore = factory()
+    try:
+        yield
+    finally:
+        restore()
+
+
+__all__ = ["PLANTED_BUGS", "planted"]

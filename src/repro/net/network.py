@@ -103,6 +103,12 @@ class Network:
         # Optional repro.obs recorder; when set, delivered messages emit
         # ``net/hop`` spans. Purely passive — see module docstring.
         self.tracer = None
+        # Optional delivery-jitter hook (schedule exploration, see
+        # ``repro.sim.nondeterminism``): maps a modeled delay to a
+        # jittered one, drawing from its own dedicated stream — never
+        # from this network's ``rng`` — so installing it reorders
+        # deliveries without shifting any protocol draw.
+        self.delivery_jitter: Optional[Callable[[float], float]] = None
 
     # -- membership -----------------------------------------------------
 
@@ -206,6 +212,8 @@ class Network:
     def _deliver_after_delay(self, message: Message) -> None:
         latency = self._latency_for(message.sender, message.recipient)
         delay = latency.delay_for(message.size_bytes, self._rng)
+        if self.delivery_jitter is not None:
+            delay = self.delivery_jitter(delay)
         handler = self._handlers[message.recipient]
         self.in_flight += 1
         sent_at = self._sim.now

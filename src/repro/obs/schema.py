@@ -310,6 +310,25 @@ _SPECS: List[MetricSpec] = [
         "Rendering/diffing every selected section plus manifest and CSV "
         "output. attrs: check (bool), sections (count).",
     ),
+    # -- schedule exploration (repro.explore.engine) -------------------------------
+    # Wall-second harness spans, same convention as report/*.
+    _spec(
+        "explore/execution",
+        SPAN,
+        "explore.engine.explore",
+        "s (wall)",
+        "One explored case executed and oracle-checked. attrs: system, "
+        "ok (bool), novel (coverage signature unseen before).",
+    ),
+    _spec(
+        "explore/minimize",
+        SPAN,
+        "explore.engine.explore",
+        "s (wall)",
+        "Delta-debugging a violation to a minimal counterexample, "
+        "including the two replay-verification executions. attrs: "
+        "executions (count), events_before, events_after.",
+    ),
     # -- node time-series gauges (sampled by obs.sampler.NodeSampler) --------------
     _spec(
         "node/cpu/utilization",

@@ -15,7 +15,11 @@ and the observability layer — relies on these guarantees:
   sequence)`` order. Two events at the same simulated time run in the
   order they were scheduled. There is no wall-clock anywhere: given the
   same seed and the same sequence of ``schedule`` calls, a run is
-  bit-for-bit reproducible.
+  bit-for-bit reproducible. Schedule exploration
+  (``repro.sim.nondeterminism``) may install a *tie breaker* that
+  permutes same-time ties via seeded priorities — the permutation is
+  itself a pure function of the explore profile, so every explored
+  interleaving remains exactly replayable.
 * **Seeded randomness only.** The kernel itself draws no randomness.
   All stochastic behaviour flows through named streams from
   ``repro.sim.rng.RngRegistry``; a component must never share another
@@ -60,12 +64,32 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, Any, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._running = False
+        # Optional same-time tie permutation (schedule exploration, see
+        # ``repro.sim.nondeterminism``): when set, each scheduled event
+        # gets a drawn priority and same-time events run in priority
+        # order instead of scheduling order. None keeps the plain
+        # sequence key — the historical, golden-seed-pinned behavior.
+        self._tie_breaker: Optional[Callable[[], int]] = None
         # Cumulative count of executed callbacks; the perf harness
         # divides this by wall time to get events/sec.
         self.processed_events = 0
+
+    def install_tie_breaker(self, tie_breaker: Callable[[], int]) -> None:
+        """Permute same-time event ties via drawn priorities.
+
+        Heap keys must be homogeneous (plain sequence numbers vs
+        ``(priority, sequence)`` tuples never compare against each
+        other), so the breaker can only be installed on a pristine
+        simulator — before anything has been scheduled or run.
+        """
+        if self._heap or self.processed_events:
+            raise SimulationError(
+                "tie breaker must be installed before any event is scheduled"
+            )
+        self._tie_breaker = tie_breaker
 
     @property
     def now(self) -> float:
@@ -84,7 +108,7 @@ class Simulator:
             raise ValueError(f"delay must be finite, got {delay!r}")
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, next(self._seq), callback))
+        heapq.heappush(self._heap, (self._now + delay, self._order_key(), callback))
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at absolute simulated time ``when``.
@@ -96,7 +120,18 @@ class Simulator:
             raise ValueError(f"scheduled time must be finite, got {when!r}")
         if when < self._now:
             raise ValueError(f"cannot schedule in the past (when={when}, now={self._now})")
-        heapq.heappush(self._heap, (when, next(self._seq), callback))
+        heapq.heappush(self._heap, (when, self._order_key(), callback))
+
+    def _order_key(self):
+        """Within-instant ordering key for the next scheduled event.
+
+        A bare sequence number normally (events at one instant run in
+        scheduling order); under an installed tie breaker, a drawn
+        priority first and the sequence only as the final tie-break.
+        """
+        if self._tie_breaker is None:
+            return next(self._seq)
+        return (self._tie_breaker(), next(self._seq))
 
     def timeout(self, delay: float, value: Any = None) -> "Event":
         """Return an event that triggers after ``delay`` seconds."""

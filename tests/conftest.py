@@ -1,0 +1,26 @@
+"""Shared test configuration.
+
+Registers a deterministic Hypothesis profile: derandomized (the same
+examples on every run — this repo's whole premise is reproducibility,
+and a flaking property test would undermine the simulator's
+determinism guarantees) and, in CI, without per-example deadlines
+(shared runners have noisy clocks; wall-time limits belong to the job,
+not to individual examples).
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis ships with the dev extra
+    settings = None
+
+if settings is not None:
+    settings.register_profile(
+        "repro",
+        derandomize=True,
+        deadline=None if os.environ.get("CI") else settings.default.deadline,
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

@@ -1,0 +1,91 @@
+"""Explore cases and replay artifacts: wire forms and validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.explore import (
+    Artifact,
+    ExploreCase,
+    load_artifact,
+    write_artifact,
+)
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.sim.nondeterminism import ExploreProfile
+
+
+def sample_case():
+    return ExploreCase(
+        system="fabric",
+        app="synthetic",
+        seed=17,
+        duration=12.0,
+        scale=40.0,
+        object_pool=8,
+        profile=ExploreProfile(tie_seed=4, jitter_seed=5, jitter_factor=0.2),
+        faults=FaultSchedule(
+            events=(
+                FaultEvent(at=2.0, kind="crash", node="org1"),
+                FaultEvent(at=4.0, kind="recover", node="org1"),
+            )
+        ),
+        planted_bug="crdt-merge",
+    )
+
+
+def test_case_wire_round_trip():
+    case = sample_case()
+    assert ExploreCase.from_wire(case.to_wire()) == case
+    # JSON round trip too: the wire form is what lands in artifacts.
+    assert ExploreCase.from_wire(json.loads(json.dumps(case.to_wire()))) == case
+
+
+def test_case_rejects_unknown_wire_fields():
+    wire = sample_case().to_wire()
+    wire["surprise"] = 1
+    with pytest.raises(ConfigError, match="surprise"):
+        ExploreCase.from_wire(wire)
+
+
+def test_case_validates_inputs():
+    with pytest.raises(ConfigError):
+        ExploreCase(system="tendermint")
+    with pytest.raises(ConfigError):
+        ExploreCase(scale=0.0)
+
+
+def test_case_config_pins_scale_and_extends_past_fault_horizon(monkeypatch):
+    # The resolved scale is pinned in the case — a different
+    # REPRO_BENCH_SCALE on the replaying machine must not leak in.
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "1")
+    case = sample_case()
+    config = case.to_config()
+    assert config.scale == 40.0
+    assert config.check is True
+    assert config.duration >= case.faults.horizon + 5.0
+    assert config.planted_bug == "crdt-merge"
+
+
+def test_artifact_round_trip(tmp_path):
+    artifact = Artifact(
+        case=sample_case(),
+        fingerprint="ab" * 32,
+        failures=("convergence",),
+        executions=7,
+    )
+    path = str(tmp_path / "bug.schedule.json")
+    write_artifact(path, artifact)
+    assert load_artifact(path) == artifact
+
+
+def test_load_artifact_rejects_foreign_files(tmp_path):
+    path = tmp_path / "notes.schedule.json"
+    path.write_text(json.dumps({"kind": "grocery-list", "version": 1}))
+    with pytest.raises(ConfigError, match="not a"):
+        load_artifact(str(path))
+    wire = Artifact(sample_case(), "00", ()).to_wire()
+    wire["version"] = 99
+    path.write_text(json.dumps(wire))
+    with pytest.raises(ConfigError, match="version"):
+        load_artifact(str(path))

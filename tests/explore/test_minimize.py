@@ -1,0 +1,88 @@
+"""Delta-debug minimization against fake (instant) runners."""
+
+import pytest
+
+from repro.explore import ExploreCase, minimize
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.sim.nondeterminism import ExploreProfile
+
+FAILING = frozenset({"convergence"})
+
+EVENTS = (
+    FaultEvent(at=1.0, kind="crash", node="org1"),
+    FaultEvent(at=3.0, kind="recover", node="org1"),
+    FaultEvent(at=2.0, kind="partition", groups=(("org0",), ("org1", "org2", "org3"))),
+    FaultEvent(at=4.0, kind="heal"),
+    FaultEvent(at=2.5, kind="loss_burst", duration=1.6, loss_probability=0.3),
+)
+
+
+def noisy_case():
+    return ExploreCase(
+        duration=10.0,
+        scale=40.0,
+        profile=ExploreProfile(tie_seed=1, jitter_seed=2, jitter_factor=0.4),
+        faults=FaultSchedule(events=EVENTS),
+    )
+
+
+def test_minimize_requires_a_failure():
+    with pytest.raises(ValueError):
+        minimize(noisy_case(), frozenset(), lambda case: frozenset())
+
+
+def test_minimize_drops_everything_when_seed_alone_fails():
+    # Failure reproduces no matter what: the minimizer should strip the
+    # profile and every fault event.
+    minimized, spent = minimize(noisy_case(), FAILING, lambda case: FAILING)
+    assert len(minimized.faults) == 0
+    assert minimized.profile == ExploreProfile()
+    assert spent > 0
+
+
+def test_minimize_keeps_the_load_bearing_unit():
+    # Failure requires the loss burst; everything else is noise.
+    def runner(case):
+        bursts = [e for e in case.faults.events if e.kind == "loss_burst"]
+        return FAILING if bursts else frozenset()
+
+    minimized, _ = minimize(noisy_case(), FAILING, runner)
+    kinds = [event.kind for event in minimized.faults.events]
+    assert kinds == ["loss_burst"]
+    # Phase 3 halves the surviving window while the failure persists.
+    assert minimized.faults.events[0].duration < 1.6
+
+
+def test_minimize_preserves_paired_events():
+    # Failure requires the crash; its recover must survive with it so
+    # the minimized schedule stays eventually clean.
+    def runner(case):
+        kinds = {event.kind for event in case.faults.events}
+        return FAILING if "crash" in kinds else frozenset()
+
+    minimized, _ = minimize(noisy_case(), FAILING, runner)
+    kinds = sorted(event.kind for event in minimized.faults.events)
+    assert kinds == ["crash", "recover"]
+
+
+def test_minimize_rejects_candidates_that_fail_differently():
+    # A candidate whose failing set changes (extra oracle trips) must
+    # not be accepted — "same bug" means the identical failing set.
+    def runner(case):
+        if len(case.faults) < len(EVENTS):
+            return frozenset({"convergence", "availability"})
+        return FAILING
+
+    minimized, _ = minimize(noisy_case(), FAILING, runner)
+    assert len(minimized.faults) == len(EVENTS)
+
+
+def test_minimize_respects_budget():
+    calls = [0]
+
+    def runner(case):
+        calls[0] += 1
+        return FAILING
+
+    _, spent = minimize(noisy_case(), FAILING, runner, budget=3)
+    assert spent == calls[0] <= 3

@@ -1,0 +1,50 @@
+"""Long exploration sweeps (run with ``-m explore``; excluded by default).
+
+On unpatched code, a 50-execution sweep across all five systems must
+stay green: the oracles' obligations hold under every generated
+interleaving, not just the golden seeds.
+"""
+
+import pytest
+
+from repro.bench.config import SYSTEMS
+from repro.explore import explore
+
+pytestmark = pytest.mark.explore
+
+
+@pytest.mark.parametrize("strategy", ["random", "coverage"])
+def test_fifty_executions_across_all_systems_stay_green(tmp_path, strategy):
+    outcome = explore(
+        systems=list(SYSTEMS),
+        app="voting",
+        executions=50,
+        strategy=strategy,
+        seed=1 if strategy == "random" else 2,
+        duration=12.0,
+        scale=40.0,
+        jobs=4,
+        out_dir=str(tmp_path),
+    )
+    assert outcome.executions == 50
+    assert not outcome.found, (
+        f"explorer found a real violation: {outcome.violation.failures} "
+        f"(artifact: {outcome.artifact_path})"
+    )
+    # Five systems must not collapse into one behavior bucket.
+    assert outcome.unique_signatures >= len(SYSTEMS)
+
+
+def test_synthetic_contention_sweep_stays_green(tmp_path):
+    outcome = explore(
+        systems=["orderlesschain", "fabriccrdt"],
+        app="synthetic",
+        executions=20,
+        strategy="coverage",
+        seed=3,
+        duration=12.0,
+        scale=40.0,
+        jobs=4,
+        out_dir=str(tmp_path),
+    )
+    assert not outcome.found
