@@ -36,6 +36,23 @@ class ByzantineWindow:
 
 
 @dataclass(frozen=True)
+class ChannelSpec:
+    """One channel in a multi-application deployment.
+
+    ``app`` is the application (contract + workload generator) the
+    channel runs; ``rate_share`` is the channel's relative share of the
+    config's total ``arrival_rate`` (shares are normalized across all
+    channels, so equal shares split the load evenly). Channels are an
+    OrderlessChain feature (repro.core.channel): coordination-freedom
+    means per-application shards never need cross-channel ordering.
+    """
+
+    channel_id: str
+    app: str = "synthetic"
+    rate_share: float = 1.0
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Everything that defines one experiment run."""
 
@@ -103,6 +120,12 @@ class ExperimentConfig:
     # explorer's mutation smoke). None/None is the historical behavior.
     explore: Optional[ExploreProfile] = None
     planted_bug: Optional[str] = None
+    # Multi-application channels (repro.core.channel): empty () is the
+    # legacy single-channel deployment (byte-identical golden seeds);
+    # otherwise one channel per spec, each binding its own contract and
+    # sharded ledger, driven at ``arrival_rate * rate_share / total``.
+    # OrderlessChain only.
+    channels: Tuple[ChannelSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -123,6 +146,26 @@ class ExperimentConfig:
             raise ConfigError(
                 f"sample_interval must be >= 0, got {self.sample_interval}"
             )
+        if self.channels:
+            if self.system != "orderlesschain":
+                raise ConfigError(
+                    f"channels are an OrderlessChain feature, got system {self.system!r}"
+                )
+            seen = set()
+            for spec in self.channels:
+                if spec.channel_id in seen:
+                    raise ConfigError(f"duplicate channel id {spec.channel_id!r}")
+                seen.add(spec.channel_id)
+                if spec.app not in APPS:
+                    raise ConfigError(
+                        f"unknown app {spec.app!r} on channel {spec.channel_id!r}; "
+                        f"choose from {APPS}"
+                    )
+                if spec.rate_share <= 0:
+                    raise ConfigError(
+                        f"rate_share must be positive on channel {spec.channel_id!r}, "
+                        f"got {spec.rate_share}"
+                    )
         if self.planted_bug is not None:
             # Imported lazily: repro.explore depends on this module.
             from repro.explore.plant import PLANTED_BUGS
@@ -151,4 +194,11 @@ class ExperimentConfig:
         return replace(self, **kwargs)
 
 
-__all__ = ["ExperimentConfig", "ByzantineWindow", "SYSTEMS", "APPS", "default_scale"]
+__all__ = [
+    "ExperimentConfig",
+    "ByzantineWindow",
+    "ChannelSpec",
+    "SYSTEMS",
+    "APPS",
+    "default_scale",
+]

@@ -28,6 +28,9 @@ The workloads:
   arms (watermark and legacy full-set) swept over run length, recording
   modeled digest bytes per round — flat for watermarks, linear for the
   legacy arm (docs/PERFORMANCE.md).
+* ``orderless/multichannel`` — channel scaling: 1/2/4 channels at
+  fixed per-channel load on one network, recording aggregate committed
+  transactions per point (monotone when channels shard cleanly).
 
 Every workload is deterministic (fixed seeds, fixed sizes); only the
 wall-clock measurements vary between machines. Use ``smoke=True`` for
@@ -229,7 +232,6 @@ def bench_orderless_events(duration: float = 6.0, smoke: bool = False) -> Dict[s
     """
     from repro.bench.config import ExperimentConfig
     from repro.bench.workload import make_workload
-    from repro.core.client import ClientConfig
     from repro.core.system import OrderlessChainNetwork, OrderlessChainSettings
 
     config = ExperimentConfig(
@@ -245,13 +247,7 @@ def bench_orderless_events(duration: float = 6.0, smoke: bool = False) -> Dict[s
         seed=0,
     )
     workload = make_workload(config)
-    settings = OrderlessChainSettings(
-        num_orgs=config.num_orgs,
-        quorum=config.quorum,
-        seed=config.seed,
-        perf=config.perf(),
-        client_config=ClientConfig(),
-    )
+    settings = OrderlessChainSettings.from_config(config)
     net = OrderlessChainNetwork(settings)
     from repro.contracts.synthetic import SyntheticContract
 
@@ -299,7 +295,6 @@ def _antientropy_run(
     from repro.bench.config import ExperimentConfig
     from repro.bench.workload import make_workload
     from repro.contracts.synthetic import SyntheticContract
-    from repro.core.client import ClientConfig
     from repro.core.organization import MSG_SYNC_DIGEST
     from repro.core.system import OrderlessChainNetwork, OrderlessChainSettings
 
@@ -313,17 +308,10 @@ def _antientropy_run(
         duration=duration,
         scale=20.0,
         seed=0,
+        legacy_digests=legacy_digests,
     )
     workload = make_workload(config)
-    settings = OrderlessChainSettings(
-        num_orgs=config.num_orgs,
-        quorum=config.quorum,
-        seed=config.seed,
-        perf=config.perf(),
-        sync_interval=sync_interval,
-        legacy_digests=legacy_digests,
-        client_config=ClientConfig(),
-    )
+    settings = OrderlessChainSettings.from_config(config, sync_interval=sync_interval)
     net = OrderlessChainNetwork(settings)
     net.install_contract(SyntheticContract)
     for _ in range(config.effective_clients):
@@ -387,6 +375,58 @@ def bench_antientropy(smoke: bool = False) -> Dict[str, Any]:
     return record
 
 
+def bench_multichannel(smoke: bool = False) -> Dict[str, Any]:
+    """Multi-application channel scaling: committed throughput vs
+    channel count.
+
+    Deploys 1, 2, and 4 channels on one OrderlessChain network and
+    drives each channel at the same fixed rate, so offered load grows
+    linearly with channel count. Channels shard the org hot path
+    (per-channel stores, hash chains, gossip backlogs, anti-entropy),
+    so aggregate committed transactions should grow monotonically —
+    the per-point data rides along under ``scaling`` for the perf
+    report and the scaling smoke test. The headline ``per_sec`` is
+    aggregate committed transactions per wall second across the sweep.
+    """
+    from repro.bench.config import ChannelSpec, ExperimentConfig
+    from repro.bench.runner import run_experiment
+
+    counts = [1, 2] if smoke else [1, 2, 4]
+    duration = 2.0 if smoke else 8.0
+    per_channel_rate = 200.0 if smoke else 400.0
+    sweep: list = []
+
+    def work() -> int:
+        total = 0
+        for count in counts:
+            config = ExperimentConfig(
+                system="orderlesschain",
+                app="synthetic",
+                arrival_rate=per_channel_rate * count,
+                num_orgs=4,
+                quorum=2,
+                duration=duration,
+                scale=20.0,
+                seed=0,
+                channels=tuple(ChannelSpec(f"ch{index}") for index in range(count)),
+            )
+            result = run_experiment(config)
+            sweep.append(
+                {
+                    "channels": count,
+                    "committed": result.committed,
+                    "committed_per_sim_s": round(result.committed / duration, 1),
+                    "committed_by_channel": result.extra.get("committed_by_channel", {}),
+                }
+            )
+            total += result.committed
+        return total
+
+    record = _timed(work)
+    record["scaling"] = sweep
+    return record
+
+
 # -- harness -----------------------------------------------------------------
 
 
@@ -408,6 +448,7 @@ def run_perfbench(smoke: bool = False) -> Dict[str, Any]:
             duration=0.8 if smoke else 6.0, smoke=smoke
         ),
         "orderless/antientropy": bench_antientropy(smoke=smoke),
+        "orderless/multichannel": bench_multichannel(smoke=smoke),
     }
     for record in results.values():
         assert record["work_units"] > 0
@@ -542,6 +583,7 @@ __all__ = [
     "bench_antientropy",
     "bench_canonical_fresh",
     "bench_canonical_repeat",
+    "bench_multichannel",
     "bench_net_send",
     "bench_orderless_events",
     "bench_sim_events",

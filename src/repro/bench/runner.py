@@ -16,6 +16,7 @@ results (docs/OBSERVABILITY.md).
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Callable, List, Optional, Sequence
 
 from repro.baselines.bidl import BIDLNetwork, BIDLSettings
@@ -24,17 +25,15 @@ from repro.baselines.fabric_crdt import FabricCRDTNetwork, FabricCRDTSettings
 from repro.baselines.sync_hotstuff import SyncHotStuffNetwork, SyncHotStuffSettings
 from repro.bench.config import ExperimentConfig
 from repro.bench.metrics import ExperimentResult, compute_result
-from repro.bench.workload import AppWorkload, make_workload
+from repro.bench.workload import AppWorkload, make_channel_workloads, make_workload
 from repro.contracts.auction import AuctionContract
 from repro.contracts.synthetic import SyntheticContract
 from repro.contracts.voting import VotingContract
 from repro.core.byzantine import ByzantineClientConfig
-from repro.core.client import ClientConfig
 from repro.core.recording import TransactionRecorder
 from repro.core.system import OrderlessChainNetwork, OrderlessChainSettings
 from repro.errors import ConfigError
 from repro.obs import Observability
-from repro.resilience import ResilienceConfig
 from repro.sim.core import Simulator
 
 
@@ -46,25 +45,57 @@ def _drive(
     rate: float,
     duration: float,
     modify_ratio: float,
+    label: str = "",
 ) -> None:
-    """Submit transactions uniformly spaced at ``rate`` tps."""
+    """Submit transactions uniformly spaced at ``rate`` tps.
+
+    ``label`` namespaces the driver's process names (one driver per
+    channel in multichannel runs); the default empty label keeps the
+    historical names.
+    """
     if rate <= 0:
         raise ConfigError(f"arrival rate must be positive, got {rate}")
     interval = 1.0 / rate
+    prefix = f"{label}." if label else ""
 
     def driver():
         index = 0
         while sim.now < duration:
             client = clients[index % len(clients)]
             kind = "modify" if rng.random() < modify_ratio else "read"
-            sim.process(submit(client, kind), name=f"txn{index}")
+            sim.process(submit(client, kind), name=f"{prefix}txn{index}")
             index += 1
             yield sim.timeout(interval)
 
-    sim.process(driver(), name="workload-driver")
+    sim.process(driver(), name=f"{prefix}workload-driver")
 
 
 # -- OrderlessChain ----------------------------------------------------------
+
+
+_settings_shim_warned = False
+
+
+def settings_from_config(config: ExperimentConfig) -> OrderlessChainSettings:
+    """Deprecated shim for the old runner-local knob copying.
+
+    Use :meth:`repro.core.OrderlessChainSettings.from_config` — the
+    single canonical conversion — instead. Warns once per process.
+    """
+    global _settings_shim_warned
+    if not _settings_shim_warned:
+        _settings_shim_warned = True
+        # DeprecationWarning is hidden by the default filter outside
+        # __main__; force it through so callers actually see it.
+        with warnings.catch_warnings():
+            warnings.simplefilter("always", DeprecationWarning)
+            warnings.warn(
+                "repro.bench.runner.settings_from_config is deprecated; "
+                "use OrderlessChainSettings.from_config(config)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+    return OrderlessChainSettings.from_config(config)
 
 
 def _orderless_contract_factory(config: ExperimentConfig) -> Callable[[], object]:
@@ -75,34 +106,40 @@ def _orderless_contract_factory(config: ExperimentConfig) -> Callable[[], object
     return AuctionContract
 
 
-def _run_orderlesschain(
-    config: ExperimentConfig,
-    workload: AppWorkload,
-    obs: Optional[Observability] = None,
-    prepare: Optional[Callable[[object], None]] = None,
-):
-    settings = OrderlessChainSettings(
-        num_orgs=config.num_orgs,
-        quorum=config.quorum,
-        seed=config.seed,
-        perf=config.perf(),
-        gossip_interval=config.gossip_interval,
-        gossip_fanout=config.gossip_fanout,
-        snapshot_interval=config.snapshot_interval,
-        legacy_digests=config.legacy_digests,
-        cache_enabled=config.cache_enabled,
-        explore=config.explore,
-        client_config=ClientConfig(
-            max_retries=config.max_retries,
-            avoid_byzantine=config.avoid_byzantine,
-            org_weights=config.org_weights,
-            resilience=ResilienceConfig() if config.resilience else None,
-        ),
-    )
+def build_network(
+    config: ExperimentConfig, obs: Optional[Observability] = None
+) -> OrderlessChainNetwork:
+    """Construct a fully wired OrderlessChain network for ``config``.
+
+    The single build path shared by :func:`run_experiment` and the
+    :mod:`repro.api` facade: settings via the canonical
+    :meth:`~repro.core.OrderlessChainSettings.from_config` conversion,
+    one channel (sharded ledger + contract) per
+    :class:`~repro.bench.config.ChannelSpec` — or the single default
+    -channel contract when none are configured — plus clients and any
+    scheduled Byzantine windows. The returned network has not started:
+    call ``net.start()`` (or hand it to a runner) to launch protocol
+    loops.
+    """
+    if config.system != "orderlesschain":
+        raise ConfigError(
+            f"build_network constructs OrderlessChain networks; got "
+            f"system={config.system!r} (use run_experiment for baselines)"
+        )
+    settings = OrderlessChainSettings.from_config(config)
     net = OrderlessChainNetwork(settings)
     if obs is not None:
         net.attach_observability(obs)
-    net.install_contract(_orderless_contract_factory(config))
+    if config.channels:
+        # Multi-application deployment: one channel (sharded ledger +
+        # contract) per spec; no contract on the default channel.
+        for spec in config.channels:
+            channel_config = config.with_(app=spec.app, channels=())
+            net.create_channel(
+                spec.channel_id, _orderless_contract_factory(channel_config)
+            )
+    else:
+        net.install_contract(_orderless_contract_factory(config))
     total_clients = config.effective_clients
     byzantine_clients = round(config.byzantine_client_fraction * total_clients)
     byz_config = (
@@ -116,29 +153,66 @@ def _run_orderlesschain(
         net.schedule_byzantine_window(
             net.org_ids[: window.count], window.start, window.end
         )
-    workload_rng = net.rng.stream("workload")
+    return net
 
-    def submit(client, kind):
-        if kind == "modify":
-            contract_id, function, params = workload.orderless_modify(
-                workload_rng, client.client_id
+
+def _run_orderlesschain(
+    config: ExperimentConfig,
+    workload: AppWorkload,
+    obs: Optional[Observability] = None,
+    prepare: Optional[Callable[[object], None]] = None,
+):
+    net = build_network(config, obs)
+
+    def _submit_with(generator, generator_rng):
+        def submit(client, kind):
+            if kind == "modify":
+                contract_id, function, params = generator.orderless_modify(
+                    generator_rng, client.client_id
+                )
+                return client.submit_modify(contract_id, function, params)
+            contract_id, function, params = generator.orderless_read(
+                generator_rng, client.client_id
             )
-            return client.submit_modify(contract_id, function, params)
-        contract_id, function, params = workload.orderless_read(workload_rng, client.client_id)
-        return client.submit_read(contract_id, function, params)
+            return client.submit_read(contract_id, function, params)
 
+        return submit
+
+    if config.channels:
+        # One independent driver + RNG stream per channel, all sharing
+        # the client pool: mixed-application traffic at per-channel
+        # rates over one network.
+        channel_plans = [
+            (spec, generator, rate, net.rng.stream(f"workload:{spec.channel_id}"))
+            for spec, generator, rate in make_channel_workloads(config)
+        ]
+    else:
+        workload_rng = net.rng.stream("workload")
     net.start()
     if prepare is not None:
         prepare(net)
-    _drive(
-        net.sim,
-        workload_rng,
-        net.clients,
-        submit,
-        config.effective_rate,
-        config.duration,
-        config.modify_ratio,
-    )
+    if config.channels:
+        for spec, generator, rate, stream in channel_plans:
+            _drive(
+                net.sim,
+                stream,
+                net.clients,
+                _submit_with(generator, stream),
+                rate,
+                config.duration,
+                config.modify_ratio,
+                label=spec.channel_id,
+            )
+    else:
+        _drive(
+            net.sim,
+            workload_rng,
+            net.clients,
+            _submit_with(workload, workload_rng),
+            config.effective_rate,
+            config.duration,
+            config.modify_ratio,
+        )
     net.run(until=config.duration + config.drain)
     # The CRDT-cache lock section is CPU work executing on one core
     # (the paper attributes OrderlessChain's higher CPU utilization to
@@ -154,7 +228,21 @@ def _run_orderlesschain(
     utilization = sum(_org_utilization(org) for org in net.organizations) / len(
         net.organizations
     )
-    return net, {"mean_org_cpu_utilization": utilization}
+    extra = {"mean_org_cpu_utilization": utilization}
+    if config.channels:
+        # Per-channel attribution for the multichannel panel: distinct
+        # valid commits per channel (max across orgs — every org
+        # eventually holds the full channel set) and the network's
+        # per-channel traffic accounting.
+        extra["committed_by_channel"] = {
+            spec.channel_id: max(
+                org.channels[spec.channel_id].ledger.valid_transaction_count
+                for org in net.organizations
+            )
+            for spec in config.channels
+        }
+        extra["net_bytes_by_channel"] = dict(net.network.bytes_by_channel)
+    return net, extra
 
 
 # -- baselines ------------------------------------------------------------------
@@ -389,4 +477,4 @@ def run_experiment(
     )
 
 
-__all__ = ["run_experiment"]
+__all__ = ["build_network", "run_experiment", "settings_from_config"]

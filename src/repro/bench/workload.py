@@ -147,6 +147,40 @@ class AuctionWorkload(AppWorkload):
         return {"auction": rng.choice(self.auctions)}
 
 
+class ChannelWorkload(AppWorkload):
+    """An application workload addressed to one channel.
+
+    Wraps a plain :class:`AppWorkload` and rewrites the contract id of
+    every OrderlessChain invocation to the channel-scoped form
+    (``"<channel>:<contract_id>"``, see
+    :func:`repro.core.channel.scoped_contract_id`), so mixed-application
+    traffic routes to the right shard. Baseline forms pass through
+    unchanged (baselines have no channels).
+    """
+
+    def __init__(self, channel_id: str, inner: AppWorkload) -> None:
+        self.channel_id = channel_id
+        self.inner = inner
+
+    def _scope(self, invocation: Invocation) -> Invocation:
+        from repro.core.channel import scoped_contract_id
+
+        contract_id, function, params = invocation
+        return scoped_contract_id(self.channel_id, contract_id), function, params
+
+    def orderless_modify(self, rng: random.Random, client_id: str) -> Invocation:
+        return self._scope(self.inner.orderless_modify(rng, client_id))
+
+    def orderless_read(self, rng: random.Random, client_id: str) -> Invocation:
+        return self._scope(self.inner.orderless_read(rng, client_id))
+
+    def baseline_modify(self, rng: random.Random, client_id: str) -> Dict[str, Any]:
+        return self.inner.baseline_modify(rng, client_id)
+
+    def baseline_read(self, rng: random.Random, client_id: str) -> Dict[str, Any]:
+        return self.inner.baseline_read(rng, client_id)
+
+
 def make_workload(config: ExperimentConfig) -> AppWorkload:
     if config.app == "synthetic":
         return SyntheticWorkload(config)
@@ -157,11 +191,32 @@ def make_workload(config: ExperimentConfig) -> AppWorkload:
     raise ConfigError(f"unknown app {config.app!r}")
 
 
+def make_channel_workloads(config: ExperimentConfig) -> list:
+    """Per-channel workloads for a multichannel config.
+
+    Returns ``[(ChannelSpec, ChannelWorkload, rate)]`` where ``rate``
+    is the channel's slice of the config's *effective* (scale-adjusted)
+    arrival rate, split by normalized ``rate_share``. Each channel's
+    generator is built from a copy of the config with that channel's
+    app, so per-app knobs (elections, auctions, object pool) apply
+    per channel.
+    """
+    total_share = sum(spec.rate_share for spec in config.channels)
+    out = []
+    for spec in config.channels:
+        inner = make_workload(config.with_(app=spec.app, channels=()))
+        rate = config.effective_rate * spec.rate_share / total_share
+        out.append((spec, ChannelWorkload(spec.channel_id, inner), rate))
+    return out
+
+
 __all__ = [
     "AppWorkload",
     "AuctionWorkload",
+    "ChannelWorkload",
     "Invocation",
     "SyntheticWorkload",
     "VotingWorkload",
+    "make_channel_workloads",
     "make_workload",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Callable, Dict, List, Optional
 
 from repro.bench import experiments, export
@@ -133,6 +134,18 @@ def _run_table3(args):
     return text, rows
 
 
+def _run_multichannel(args):
+    results = experiments.multichannel_scaling(
+        duration=args.duration, scale=args.scale, seed=args.seed, jobs=args.jobs
+    )
+    return (
+        format_sweep(
+            "Multi-application channels: committed vs channel count", "channels", results
+        ),
+        export.sweep_to_records(results, "channels"),
+    )
+
+
 def _run_chaos(args):
     """Fault schedules + invariant oracles (docs/FAULTS.md)."""
     from repro.faults import FaultSchedule
@@ -153,7 +166,7 @@ def _run_chaos(args):
             scale=args.scale,
             seed=args.seed,
             resilience=getattr(args, "resilience", False),
-            max_retries=getattr(args, "retries", 0),
+            max_retries=getattr(args, "max_retries", 0),
             snapshot_interval=getattr(args, "snapshot_interval", 0.0),
             legacy_digests=getattr(args, "legacy_digests", False),
         )
@@ -185,8 +198,69 @@ EXPERIMENTS: Dict[str, tuple[str, Callable]] = {
     "fig8b": ("Byzantine organizations, clients avoid", _run_fig8b),
     "fig9": ("voting/auction vs Fabric & FabricCRDT", _run_fig9),
     "fig10": ("voting/auction vs BIDL & Sync HotStuff", _run_fig10),
+    "multichannel": ("channel-count scaling, mixed applications", _run_multichannel),
     "table3": ("transaction processing time breakdown", _run_table3),
 }
+
+
+# -- shared flags ------------------------------------------------------------
+#
+# ``run``, ``bench``, ``explore``, and ``report`` all take subsets of
+# the same four flags; one table keeps their spelling, default, and
+# help text identical everywhere (tests/bench/test_cli.py pins this).
+
+_SYSTEM_CHOICES = ["orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff"]
+_APP_CHOICES = ["synthetic", "voting", "auction"]
+
+
+class _DeprecatedAlias(argparse.Action):
+    """An old flag spelling: forwards to ``dest``, warns once per flag."""
+
+    _warned: set = set()
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        replacement = "--" + self.dest.replace("_", "-")
+        if option_string not in self._warned:
+            self._warned.add(option_string)
+            # DeprecationWarning is hidden by the default filter outside
+            # __main__; force it through so CLI users actually see it.
+            with warnings.catch_warnings():
+                warnings.simplefilter("always", DeprecationWarning)
+                warnings.warn(
+                    f"{option_string} is deprecated; use {replacement}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+        setattr(namespace, self.dest, values)
+
+
+def _add_common_flags(sub: argparse.ArgumentParser, *names: str) -> None:
+    adders = {
+        "system": lambda: sub.add_argument(
+            "--system",
+            choices=_SYSTEM_CHOICES,
+            default=None,
+            help="restrict to one system (experiments that fix their own"
+            " system set ignore this)",
+        ),
+        "app": lambda: sub.add_argument(
+            "--app",
+            choices=_APP_CHOICES,
+            default="voting",
+            help="application contract and workload",
+        ),
+        "seed": lambda: sub.add_argument(
+            "--seed", type=int, default=0, help="base RNG seed"
+        ),
+        "jobs": lambda: sub.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes for sweeps (default: REPRO_BENCH_JOBS or 1)",
+        ),
+    }
+    for name in names:
+        adders[name]()
 
 
 def _cmd_list(args) -> int:
@@ -449,23 +523,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run one experiment and print its figure/table")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
-    run.add_argument("--app", choices=["voting", "auction"], default="voting")
+    _add_common_flags(run, "system", "app", "seed", "jobs")
     run.add_argument("--duration", type=float, default=15.0, help="simulated seconds per run")
     run.add_argument("--scale", type=float, default=None, help="scale-down factor (default: env)")
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for the sweep (default: REPRO_BENCH_JOBS or 1)",
-    )
     run.add_argument("--output", default=None, help="write the figure data as JSON")
-    run.add_argument(
-        "--system",
-        choices=["orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff"],
-        default=None,
-        help="chaos only: check one system instead of all five",
-    )
     run.add_argument(
         "--faults",
         default=None,
@@ -484,10 +545,18 @@ def build_parser() -> argparse.ArgumentParser:
         " for OrderlessChain clients (docs/RESILIENCE.md)",
     )
     run.add_argument(
-        "--retries",
+        "--max-retries",
+        dest="max_retries",
         type=int,
         default=0,
         help="chaos only: client retry budget per phase (default 0)",
+    )
+    run.add_argument(
+        "--retries",
+        dest="max_retries",
+        type=int,
+        action=_DeprecatedAlias,
+        help=argparse.SUPPRESS,
     )
     run.add_argument(
         "--snapshot-interval",
@@ -514,16 +583,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="experiment",
         help=f"experiments to run (default: all of {', '.join(sorted(EXPERIMENTS))})",
     )
-    bench.add_argument("--app", choices=["voting", "auction"], default="voting")
+    _add_common_flags(bench, "system", "app", "seed", "jobs")
     bench.add_argument("--duration", type=float, default=15.0, help="simulated seconds per run")
     bench.add_argument("--scale", type=float, default=None, help="scale-down factor (default: env)")
-    bench.add_argument("--seed", type=int, default=0)
-    bench.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes per sweep (default: REPRO_BENCH_JOBS or 1)",
-    )
     bench.add_argument("--output-dir", default=None, help="write each experiment's data as JSON here")
     bench.set_defaults(func=_cmd_bench)
 
@@ -564,12 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ID",
         help="spec ids or groups (e.g. fig6a fig9; comma-separated also works); default: all",
     )
-    report.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes per sweep (default: REPRO_BENCH_JOBS or 1)",
-    )
+    _add_common_flags(report, "jobs")
     report.add_argument(
         "--quick",
         action="store_true",
@@ -600,13 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fuzz schedules against the invariant oracles; minimize and replay"
         " counterexamples (docs/TESTING.md)",
     )
-    explore.add_argument(
-        "--system",
-        choices=["orderlesschain", "fabric", "fabriccrdt", "bidl", "synchotstuff"],
-        default=None,
-        help="explore one system (default: round-robin over all five)",
-    )
-    explore.add_argument("--app", choices=["synthetic", "voting", "auction"], default="voting")
+    _add_common_flags(explore, "system", "app", "seed", "jobs")
     explore.add_argument(
         "--executions", type=int, default=50, help="execution budget for the search"
     )
@@ -616,17 +667,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="random",
         help="random seed sweeps, or coverage-guided mutation of novel-signature cases",
     )
-    explore.add_argument("--seed", type=int, default=0, help="seed for the explorer's own draws")
     explore.add_argument(
         "--duration", type=float, default=20.0, help="simulated seconds per execution"
     )
     explore.add_argument("--scale", type=float, default=None, help="scale-down factor (default: env)")
-    explore.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for the sweep (default: 1)",
-    )
     explore.add_argument(
         "--out-dir", default=".", help="where counterexample *.schedule.json artifacts go"
     )

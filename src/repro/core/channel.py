@@ -1,0 +1,89 @@
+"""Per-channel sharded state (multi-application deployments).
+
+A *channel* binds one smart contract to its own namespaced CRDT store,
+hash-chain ledger, committed index, and watermark digest, so a single
+``OrderlessChainNetwork`` can serve several independent applications
+concurrently. Coordination-freedom makes this sharding trivial:
+transactions from different applications never need a global order
+(Section 3), so channels share only the WAN and the crypto caches.
+
+Every organization owns one :class:`ChannelState` per channel. The
+implicit ``default`` channel reproduces the historical single-channel
+behaviour byte-for-byte: its state objects double as the
+organization's legacy attributes (``org.ledger`` etc.), no wire body
+grows a ``channel`` key, and no extra RNG draw or event is introduced
+until a second channel is created.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.antientropy import CommittedIndex
+from repro.core.contract import SmartContract
+from repro.ledger.ledger import Ledger
+
+#: The implicit channel every organization starts with; contracts
+#: installed here keep their bare contract ids (legacy behaviour).
+DEFAULT_CHANNEL = "default"
+
+
+def scoped_contract_id(channel_id: str, contract_id: str) -> str:
+    """The network-wide unique contract id for a channel-bound contract.
+
+    Contract ids are the routing key of the whole protocol (proposals,
+    commits, and reads all carry one), so two channels running the same
+    application must expose distinct ids. Contracts on the default
+    channel keep their bare id — existing clients and golden seeds see
+    no change — while a contract installed on channel ``alpha`` is
+    addressed as ``alpha:voting``.
+    """
+    if channel_id == DEFAULT_CHANNEL or contract_id.startswith(f"{channel_id}:"):
+        return contract_id
+    return f"{channel_id}:{contract_id}"
+
+
+class ChannelState:
+    """One channel's shard of an organization's state.
+
+    Holds everything the commit/gossip/anti-entropy hot path touches
+    per channel: the ledger (hash-chain log + database + CRDT value
+    cache), the contracts bound to the channel, the gossip backlog,
+    the committed wire forms, the incrementally maintained
+    :class:`CommittedIndex` (watermark digests), the per-object
+    transaction index used by sealing, and the recovery snapshot.
+    """
+
+    __slots__ = (
+        "channel_id",
+        "ledger",
+        "contracts",
+        "gossip_backlog",
+        "valid_txn_wire",
+        "commit_index",
+        "txns_by_object",
+        "snapshot",
+        "committed_valid",
+        "committed_invalid",
+        "gossip_commits",
+    )
+
+    def __init__(self, channel_id: str, cache_enabled: bool = True) -> None:
+        self.channel_id = channel_id
+        self.ledger = Ledger(cache_enabled=cache_enabled)
+        self.contracts: Dict[str, SmartContract] = {}
+        # (transaction wire, remaining push rounds) pairs; see
+        # Organization._gossip_loop.
+        self.gossip_backlog: List[tuple[Dict[str, Any], int]] = []
+        self.valid_txn_wire: Dict[str, Dict[str, Any]] = {}
+        self.commit_index = CommittedIndex()
+        self.txns_by_object: Dict[str, set] = {}
+        self.snapshot: Optional[Dict[str, Any]] = None
+        # Per-channel commit counters (the org-level totals aggregate
+        # across channels), for the multichannel attribution panel.
+        self.committed_valid = 0
+        self.committed_invalid = 0
+        self.gossip_commits = 0
+
+
+__all__ = ["ChannelState", "DEFAULT_CHANNEL", "scoped_contract_id"]

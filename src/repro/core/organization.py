@@ -17,8 +17,9 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.core.antientropy import CommittedIndex, WatermarkDigest
+from repro.core.antientropy import WatermarkDigest
 from repro.core.byzantine import ByzantineOrgConfig
+from repro.core.channel import DEFAULT_CHANNEL, ChannelState, scoped_contract_id
 from repro.core.contract import ContractContext, SmartContract, StateReader
 from repro.core.perf import PerfModel
 from repro.core.policy import EndorsementPolicy
@@ -26,7 +27,6 @@ from repro.core.recording import TransactionRecorder
 from repro.core.transaction import Endorsement, Proposal, Receipt, Transaction
 from repro.crypto.identity import CertificateAuthority, Identity
 from repro.errors import ContractError, CRDTError
-from repro.ledger.ledger import Ledger
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim.core import Simulator
@@ -76,23 +76,32 @@ class Organization:
         # paths emit lifecycle spans. Passive: no randomness, no state
         # changes, no extra events (see repro.sim.core).
         self.tracer = None
-        self.ledger = Ledger(cache_enabled=cache_enabled)
+        # Per-channel sharded state (repro.core.channel): each channel
+        # owns its own ledger, gossip backlog, committed index, and
+        # snapshot. The implicit default channel's objects double as
+        # the legacy single-channel attributes below, so existing code
+        # (tests, adapters, extensions) keeps working unchanged.
+        self._cache_enabled = cache_enabled
+        default_channel = ChannelState(DEFAULT_CHANNEL, cache_enabled=cache_enabled)
+        self.channels: Dict[str, ChannelState] = {DEFAULT_CHANNEL: default_channel}
+        # contract id -> channel id routing map; proposals, commits,
+        # gossip, and reads are steered to a channel by contract id.
+        self._contract_channel: Dict[str, str] = {}
+        self.ledger = default_channel.ledger
         self.cpu = Resource(sim, capacity=perf.vcpus)
         self.cache_lock = Lock(sim)
+        # Global contract registry across all channels (endorsement
+        # dispatch); per-channel registries live on the ChannelState.
         self.contracts: Dict[str, SmartContract] = {}
         self.peer_ids: List[str] = []
         self.gossip_interval = gossip_interval
         self.gossip_fanout = gossip_fanout
         self.gossip_ttl = max(1, gossip_ttl)
-        # Entries are (transaction wire, remaining rounds): pushing each
-        # transaction for a few rounds makes the epidemic reach every
-        # organization even with a fanout of one.
-        self._gossip_backlog: List[tuple[Dict[str, Any], int]] = []
         # Anti-entropy: periodic digest exchange with a random peer so
         # replicas reconcile even after push-gossip rounds are spent
         # (e.g. across a healed partition). 0 disables it.
         self.sync_interval = sync_interval
-        self._valid_txn_wire: Dict[str, Dict[str, Any]] = {}
+        self._valid_txn_wire = default_channel.valid_txn_wire
         # Watermark-based anti-entropy (repro.core.antientropy): the
         # committed set summarized incrementally at commit time as
         # per-client watermarks + gap ranges, an insertion-ordered id
@@ -102,7 +111,7 @@ class Organization:
         # digest wire format (byte-identical event order) for A/B
         # ablations; the index is maintained either way.
         self.legacy_digests = legacy_digests
-        self._commit_index = CommittedIndex()
+        self._commit_index = default_channel.commit_index
         # Snapshot-based crash recovery (docs/RESILIENCE.md): with a
         # positive interval, a background loop periodically checkpoints
         # the committed-transaction set; recover() then replays only
@@ -110,7 +119,6 @@ class Organization:
         # anti-entropy instead of the full-broadcast resync. 0 (the
         # default) disables it and keeps the legacy path byte-identical.
         self.snapshot_interval = snapshot_interval
-        self._snapshot: Optional[Dict[str, Any]] = None
         self.snapshots_taken = 0
         self.last_recovery_mode: Optional[str] = None
         # Byzantine state: a config plus an on/off switch the experiment
@@ -127,7 +135,7 @@ class Organization:
         # the proposal (the Section 8 DDoS-detection hook).
         self.proposal_guards: List[Any] = []
         # Valid transaction ids per touched object (used by sealing).
-        self._txns_by_object: Dict[str, set] = {}
+        self._txns_by_object = default_channel.txns_by_object
         # Fail-stop crash flag (set by the fault-injection layer in
         # tandem with ``Network.crash``): a crashed organization ignores
         # incoming messages and skips its background loops. Compute
@@ -146,10 +154,48 @@ class Organization:
     def org_id(self) -> str:
         return self.identity.identifier
 
+    # -- channels (repro.core.channel) -----------------------------------
+
+    @property
+    def _multichannel(self) -> bool:
+        """More than one channel exists; wire bodies then carry the
+        channel id so digests and sync requests route to the right
+        shard. Single-channel bodies stay byte-identical to the legacy
+        format."""
+        return len(self.channels) > 1
+
+    @property
+    def _gossip_backlog(self) -> List[tuple[Dict[str, Any], int]]:
+        """Legacy alias: the default channel's gossip backlog."""
+        return self.channels[DEFAULT_CHANNEL].gossip_backlog
+
+    @property
+    def _snapshot(self) -> Optional[Dict[str, Any]]:
+        """Legacy alias: the default channel's recovery snapshot."""
+        return self.channels[DEFAULT_CHANNEL].snapshot
+
+    def create_channel(self, channel_id: str) -> ChannelState:
+        """Create (or return) the named channel's state shard."""
+        channel = self.channels.get(channel_id)
+        if channel is None:
+            channel = ChannelState(channel_id, cache_enabled=self._cache_enabled)
+            self.channels[channel_id] = channel
+        return channel
+
+    def _channel_of(self, contract_id: str) -> ChannelState:
+        """The channel a contract id routes to (default if unknown)."""
+        return self.channels[self._contract_channel.get(contract_id, DEFAULT_CHANNEL)]
+
     # -- setup ---------------------------------------------------------
 
-    def install_contract(self, contract: SmartContract) -> None:
+    def install_contract(
+        self, contract: SmartContract, channel: str = DEFAULT_CHANNEL
+    ) -> None:
+        state = self.create_channel(channel)
+        contract.contract_id = scoped_contract_id(channel, contract.contract_id)
+        state.contracts[contract.contract_id] = contract
         self.contracts[contract.contract_id] = contract
+        self._contract_channel[contract.contract_id] = channel
 
     def set_peers(self, org_ids: List[str]) -> None:
         self.peer_ids = [org_id for org_id in org_ids if org_id != self.org_id]
@@ -269,6 +315,7 @@ class Organization:
                 msg_type=MSG_ENDORSEMENT,
                 body=endorsement.to_wire(),
                 size_bytes=self.perf.endorsement_bytes(len(write_set)),
+                channel=self._contract_channel.get(proposal.contract_id, DEFAULT_CHANNEL),
             )
         )
 
@@ -328,10 +375,23 @@ class Organization:
             return False, f"malformed write-set: {exc}"
         return True, ""
 
-    def _commit_transaction(self, transaction: Transaction, via_gossip: bool):
-        """Shared commit path; returns (valid, block_or_None, reason)."""
+    def _commit_transaction(
+        self,
+        transaction: Transaction,
+        via_gossip: bool,
+        channel: Optional[ChannelState] = None,
+    ):
+        """Shared commit path; returns (valid, block_or_None, reason).
+
+        All ledger/index mutations land on the transaction's channel
+        shard (routed by contract id); the CPU and cache lock stay
+        org-wide — channels share compute, not state.
+        """
+        if channel is None:
+            channel = self._channel_of(transaction.proposal.contract_id)
+        ledger = channel.ledger
         txn_id = transaction.transaction_id
-        if self.ledger.is_valid_transaction(txn_id):
+        if ledger.is_valid_transaction(txn_id):
             # Already committed as valid: never commit twice. (A
             # transaction logged as *invalid* may still be retried —
             # e.g. it was rejected while its object was frozen and the
@@ -364,7 +424,7 @@ class Organization:
                     txn_id=txn_id,
                     attrs={"objects": touched_objects},
                 )
-            if self.ledger.is_valid_transaction(txn_id):
+            if ledger.is_valid_transaction(txn_id):
                 # Another handler (client path or gossip) committed the
                 # same transaction while we waited for the lock.
                 return True, None, "duplicate"
@@ -380,30 +440,33 @@ class Organization:
                     break
         if valid:
             wire = transaction.to_wire()
-            block = self.ledger.commit(
+            block = ledger.commit(
                 transaction.transaction_id, operations, wire, valid=True
             )
             self.committed_valid += 1
-            self._gossip_backlog.append((wire, self.gossip_ttl))
-            self._valid_txn_wire[txn_id] = wire
-            self._commit_index.add(txn_id)
+            channel.committed_valid += 1
+            channel.gossip_backlog.append((wire, self.gossip_ttl))
+            channel.valid_txn_wire[txn_id] = wire
+            channel.commit_index.add(txn_id)
             for operation in operations:
-                self._txns_by_object.setdefault(operation.object_id, set()).add(txn_id)
+                channel.txns_by_object.setdefault(operation.object_id, set()).add(txn_id)
             if via_gossip:
                 self.gossip_commits += 1
+                channel.gossip_commits += 1
             return True, block, reason
         if via_gossip:
             # A gossiped transaction that fails validation is a forgery
             # (possibly tampered in transit by a Byzantine peer); it is
             # dropped so an honest copy can still commit later.
             return False, None, reason
-        if self.ledger.has_transaction(txn_id):
+        if ledger.has_transaction(txn_id):
             # Already logged as invalid earlier; don't log it twice.
             return False, None, reason
-        block = self.ledger.commit(
+        block = ledger.commit(
             transaction.transaction_id, [], transaction.to_wire(), valid=False
         )
         self.committed_invalid += 1
+        channel.committed_invalid += 1
         return False, block, reason
 
     def _handle_commit(self, message: Message):
@@ -414,12 +477,18 @@ class Organization:
                 return
         transaction = Transaction.from_wire(message.body)
         txn_id = transaction.transaction_id
-        if self.ledger.has_transaction(txn_id):
+        channel = self._channel_of(transaction.proposal.contract_id)
+        ledger = channel.ledger
+        if ledger.has_transaction(txn_id):
             # Duplicate (resent by the client or already gossiped): do
             # not commit again, but resend the receipt/rejection.
             yield from self.cpu.serve(self.perf.dedup_check)
             self._send_receipt(
-                message.sender, txn_id, self.ledger.log.head_hash, self.ledger.is_valid_transaction(txn_id)
+                message.sender,
+                txn_id,
+                ledger.log.head_hash,
+                ledger.is_valid_transaction(txn_id),
+                channel=channel.channel_id,
             )
             return
         verify_started = self.sim.now
@@ -436,7 +505,9 @@ class Organization:
                 txn_id=txn_id,
                 attrs={"endorsements": len(transaction.endorsements)},
             )
-        valid, block, _reason = yield from self._commit_transaction(transaction, via_gossip=False)
+        valid, block, _reason = yield from self._commit_transaction(
+            transaction, via_gossip=False, channel=channel
+        )
         if self.recorder is not None:
             self.recorder.phase("orderlesschain/P2/Commit", self.sim.now - arrived)
         if self.tracer is not None:
@@ -448,10 +519,19 @@ class Organization:
                 txn_id=txn_id,
                 attrs={"valid": valid},
             )
-        block_hash = block.block_hash if block is not None else self.ledger.log.head_hash
-        self._send_receipt(message.sender, txn_id, block_hash, valid)
+        block_hash = block.block_hash if block is not None else ledger.log.head_hash
+        self._send_receipt(
+            message.sender, txn_id, block_hash, valid, channel=channel.channel_id
+        )
 
-    def _send_receipt(self, client_id: str, txn_id: str, block_hash: str, valid: bool) -> None:
+    def _send_receipt(
+        self,
+        client_id: str,
+        txn_id: str,
+        block_hash: str,
+        valid: bool,
+        channel: str = DEFAULT_CHANNEL,
+    ) -> None:
         receipt = Receipt.create(self.identity, txn_id, block_hash, valid)
         self.network.send(
             Message(
@@ -460,6 +540,7 @@ class Organization:
                 msg_type=MSG_RECEIPT,
                 body=receipt.to_wire(),
                 size_bytes=self.perf.receipt_bytes,
+                channel=channel,
             )
         )
 
@@ -468,37 +549,46 @@ class Organization:
     def _gossip_loop(self):
         while True:
             yield self.sim.timeout(self.gossip_interval)
-            if self.crashed or not self._gossip_backlog or not self.peer_ids:
+            if self.crashed or not self.peer_ids:
                 continue
-            entries, self._gossip_backlog = self._gossip_backlog, []
-            # Re-queue transactions that still have rounds left.
-            self._gossip_backlog = [
-                (wire, ttl - 1) for wire, ttl in entries if ttl > 1
-            ]
-            batch = [wire for wire, _ in entries]
-            if (
-                self.byzantine_active
-                and self.byzantine is not None
-                and self.rng.random() < self.byzantine.suppress_gossip_probability
-            ):
-                continue
-            fanout = min(self.gossip_fanout, len(self.peer_ids))
-            targets = self.rng.sample(self.peer_ids, fanout)
-            size = sum(
-                self.perf.gossip_txn_base_bytes
-                + self.perf.per_op_bytes * len(txn["write_set"])
-                for txn in batch
-            )
-            for target in targets:
-                self.network.send(
-                    Message(
-                        sender=self.org_id,
-                        recipient=target,
-                        msg_type=MSG_GOSSIP,
-                        body={"transactions": batch},
-                        size_bytes=size,
-                    )
+            # Each channel gossips its own backlog with its own fanout
+            # sample — sharded dissemination over a shared WAN. With a
+            # single channel the per-tick draw sequence (byzantine
+            # suppress, then fanout sample, only when the backlog is
+            # non-empty) is exactly the legacy one.
+            for channel in self.channels.values():
+                if not channel.gossip_backlog:
+                    continue
+                entries = channel.gossip_backlog
+                # Re-queue transactions that still have rounds left.
+                channel.gossip_backlog = [
+                    (wire, ttl - 1) for wire, ttl in entries if ttl > 1
+                ]
+                batch = [wire for wire, _ in entries]
+                if (
+                    self.byzantine_active
+                    and self.byzantine is not None
+                    and self.rng.random() < self.byzantine.suppress_gossip_probability
+                ):
+                    continue
+                fanout = min(self.gossip_fanout, len(self.peer_ids))
+                targets = self.rng.sample(self.peer_ids, fanout)
+                size = sum(
+                    self.perf.gossip_txn_base_bytes
+                    + self.perf.per_op_bytes * len(txn["write_set"])
+                    for txn in batch
                 )
+                for target in targets:
+                    self.network.send(
+                        Message(
+                            sender=self.org_id,
+                            recipient=target,
+                            msg_type=MSG_GOSSIP,
+                            body={"transactions": batch},
+                            size_bytes=size,
+                            channel=channel.channel_id,
+                        )
+                    )
 
     def _handle_gossip(self, message: Message):
         for wire in message.body["transactions"]:
@@ -508,18 +598,26 @@ class Organization:
             # state — is skipped without parsing the full transaction.
             proposal_wire = wire["proposal"]
             txn_id = f"{proposal_wire['client_id']}:{proposal_wire['clock']['counter']}"
-            if self.ledger.is_valid_transaction(txn_id):
+            # Route by the proposal's contract id: gossip batches need
+            # no channel key on the wire because every transaction
+            # already names its contract.
+            channel = self._channel_of(proposal_wire["contract_id"])
+            if channel.ledger.is_valid_transaction(txn_id):
                 yield from self.cpu.serve(self.perf.dedup_check)
                 continue
             transaction = Transaction.from_wire(wire)
             # Batched, amortized verification: cheaper than the client
             # path, off any client's critical path.
             yield from self.cpu.serve(self.perf.gossip_commit_per_txn)
-            yield from self._commit_transaction(transaction, via_gossip=True)
+            yield from self._commit_transaction(
+                transaction, via_gossip=True, channel=channel
+            )
 
     # -- anti-entropy reconciliation ---------------------------------------------
 
-    def _digest_body_and_size(self) -> tuple[Dict[str, Any], int]:
+    def _digest_body_and_size(
+        self, channel: Optional[ChannelState] = None
+    ) -> tuple[Dict[str, Any], int]:
         """The digest wire form + modeled size for the active mode.
 
         Legacy: the full sorted id list, ``digest_base_bytes +
@@ -527,18 +625,32 @@ class Organization:
         per round. Watermark: the per-client watermark + gap summary,
         O(clients + gaps) bytes and O(clients) work, read straight off
         the incrementally maintained :class:`CommittedIndex`.
+
+        Digests summarize one channel's committed set. Only in
+        multichannel mode does the body carry the channel id — the
+        single-channel wire form is byte-identical to the legacy one.
         """
+        if channel is None:
+            channel = self.channels[DEFAULT_CHANNEL]
+        tag = {"channel": channel.channel_id} if self._multichannel else {}
         if self.legacy_digests:
-            txn_ids = sorted(self._valid_txn_wire)
-            return {"txn_ids": txn_ids}, self.perf.legacy_digest_bytes(len(txn_ids))
-        marks = self._commit_index.watermarks
+            txn_ids = sorted(channel.valid_txn_wire)
+            return (
+                {"txn_ids": txn_ids, **tag},
+                self.perf.legacy_digest_bytes(len(txn_ids)),
+            )
+        marks = channel.commit_index.watermarks
         return (
-            {"watermarks": marks.to_wire()},
+            {"watermarks": marks.to_wire(), **tag},
             self.perf.watermark_digest_bytes(marks.client_count, marks.gap_count),
         )
 
-    def _send_digest(self, recipient: str, context: str) -> None:
-        body, size = self._digest_body_and_size()
+    def _send_digest(
+        self, recipient: str, context: str, channel: Optional[ChannelState] = None
+    ) -> None:
+        if channel is None:
+            channel = self.channels[DEFAULT_CHANNEL]
+        body, size = self._digest_body_and_size(channel)
         self.network.send(
             Message(
                 sender=self.org_id,
@@ -546,6 +658,7 @@ class Organization:
                 msg_type=MSG_SYNC_DIGEST,
                 body=body,
                 size_bytes=size,
+                channel=channel.channel_id,
             )
         )
         if self.tracer is not None:
@@ -581,7 +694,11 @@ class Organization:
             ):
                 continue
             target = self.rng.choice(self.peer_ids)
-            self._send_digest(target, context="sync")
+            # One digest per channel to the same peer: the peer draw is
+            # shared (no extra randomness per channel), so the
+            # single-channel draw sequence is unchanged.
+            for channel in self.channels.values():
+                self._send_digest(target, context="sync", channel=channel)
 
     def _handle_sync_digest(self, message: Message) -> None:
         """Push-pull reconciliation against a peer's digest.
@@ -598,32 +715,37 @@ class Organization:
         divergence)); the legacy path set-diffs the full id list.
         """
         body = message.body
+        channel = self.channels.get(body.get("channel", DEFAULT_CHANNEL))
+        if channel is None:
+            return  # digest for a channel this organization never joined
         if "watermarks" in body:
             remote = WatermarkDigest.from_wire(body["watermarks"])
             missing = [
                 txn_id
-                for txn_id in self._commit_index.missing_from(remote)
-                if not self.ledger.has_transaction(txn_id)
+                for txn_id in channel.commit_index.missing_from(remote)
+                if not channel.ledger.has_transaction(txn_id)
             ]
-            surplus = list(self._commit_index.surplus_over(remote))
+            surplus = list(channel.commit_index.surplus_over(remote))
         else:
             digest = set(body["txn_ids"])
             missing = [
                 txn_id
                 for txn_id in body["txn_ids"]
-                if not self.ledger.has_transaction(txn_id)
+                if not channel.ledger.has_transaction(txn_id)
             ]
             surplus = [
                 txn_id
-                for txn_id in sorted(self._valid_txn_wire)
+                for txn_id in sorted(channel.valid_txn_wire)
                 if txn_id not in digest
             ]
         pages = 0
         if missing:
-            pages += self._send_sync_requests(message.sender, missing)
+            pages += self._send_sync_requests(message.sender, missing, channel)
         if surplus:
             pages += self._send_txn_batches(
-                message.sender, (self._valid_txn_wire[txn_id] for txn_id in surplus)
+                message.sender,
+                (channel.valid_txn_wire[txn_id] for txn_id in surplus),
+                channel,
             )
         if self.tracer is not None:
             self.tracer.instant(
@@ -638,8 +760,13 @@ class Organization:
                 },
             )
 
-    def _send_sync_requests(self, recipient: str, txn_ids: List[str]) -> int:
+    def _send_sync_requests(
+        self, recipient: str, txn_ids: List[str], channel: Optional[ChannelState] = None
+    ) -> int:
         """Request ids from a peer, paginated in watermark mode."""
+        if channel is None:
+            channel = self.channels[DEFAULT_CHANNEL]
+        tag = {"channel": channel.channel_id} if self._multichannel else {}
         page = len(txn_ids) if self.legacy_digests else max(1, self.perf.sync_page_txns)
         pages = 0
         for start in range(0, len(txn_ids), page):
@@ -649,14 +776,20 @@ class Organization:
                     sender=self.org_id,
                     recipient=recipient,
                     msg_type=MSG_SYNC_REQUEST,
-                    body={"txn_ids": chunk},
+                    body={"txn_ids": chunk, **tag},
                     size_bytes=self.perf.legacy_digest_bytes(len(chunk)),
+                    channel=channel.channel_id,
                 )
             )
             pages += 1
         return pages
 
-    def _send_txn_batches(self, recipient: str, wires: Iterable[Dict[str, Any]]) -> int:
+    def _send_txn_batches(
+        self,
+        recipient: str,
+        wires: Iterable[Dict[str, Any]],
+        channel: Optional[ChannelState] = None,
+    ) -> int:
         """Ship transaction wires as gossip batches.
 
         In watermark mode batches are capped at ``sync_page_txns``
@@ -664,6 +797,8 @@ class Organization:
         backlog as a paginated stream, never one unbounded message;
         the legacy path keeps the old single-message behavior.
         """
+        if channel is None:
+            channel = self.channels[DEFAULT_CHANNEL]
         wires = list(wires)
         if not wires:
             return 0
@@ -683,19 +818,24 @@ class Organization:
                     msg_type=MSG_GOSSIP,
                     body={"transactions": chunk},
                     size_bytes=size,
+                    channel=channel.channel_id,
                 )
             )
             pages += 1
         return pages
 
     def _handle_sync_request(self, message: Message) -> None:
+        channel = self.channels.get(message.body.get("channel", DEFAULT_CHANNEL))
+        if channel is None:
+            return
         self._send_txn_batches(
             message.sender,
             (
-                self._valid_txn_wire[txn_id]
+                channel.valid_txn_wire[txn_id]
                 for txn_id in message.body["txn_ids"]
-                if txn_id in self._valid_txn_wire
+                if txn_id in channel.valid_txn_wire
             ),
+            channel,
         )
 
     # -- crash / recovery (fault injection) ---------------------------------------
@@ -708,7 +848,8 @@ class Organization:
         lost. Called by the fault layer together with ``Network.crash``.
         """
         self.crashed = True
-        self._gossip_backlog.clear()
+        for channel in self.channels.values():
+            channel.gossip_backlog.clear()
 
     def resync(self) -> None:
         """Announce our digest to every peer after recovering.
@@ -719,21 +860,25 @@ class Organization:
         the rejoin reconciliation an organization needs after a crash.
         """
         self.crashed = False
-        self.ledger.rebuild_cache()
+        for channel in self.channels.values():
+            channel.ledger.rebuild_cache()
         for target in self.peer_ids:
-            self._send_digest(target, context="resync")
+            for channel in self.channels.values():
+                self._send_digest(target, context="resync", channel=channel)
 
     # -- snapshot checkpoints (docs/RESILIENCE.md) ---------------------------------
 
-    def _state_digest(self) -> str:
-        """Order-independent digest of the valid committed set.
+    def _state_digest(self, channel: Optional[ChannelState] = None) -> str:
+        """Order-independent digest of a channel's valid committed set.
 
         Read in O(1) off the running per-id SHA-256 XOR accumulator the
         :class:`CommittedIndex` updates at commit time — the old
         implementation sorted and joined every id (O(n log n)) on each
         checkpoint.
         """
-        return self._commit_index.state_digest()
+        if channel is None:
+            channel = self.channels[DEFAULT_CHANNEL]
+        return channel.commit_index.state_digest()
 
     def _snapshot_loop(self):
         """Periodically checkpoint the committed set for fast recovery.
@@ -742,34 +887,37 @@ class Organization:
         the previous snapshot (incremental checkpointing); the snapshot
         itself is the durable marker :meth:`recover` replays from. It
         stores only the commit-log position, count, and state digest —
-        O(1) per checkpoint, never a copy of the full id set.
+        O(1) per checkpoint, never a copy of the full id set. Each
+        channel checkpoints independently (its own log position and
+        digest); with one channel the loop is the legacy one.
         """
         while True:
             yield self.sim.timeout(self.snapshot_interval)
             if self.crashed:
                 continue
-            known = len(self._valid_txn_wire)
-            prev = self._snapshot["count"] if self._snapshot is not None else 0
-            new = max(0, known - prev)
-            if self._snapshot is not None and new == 0:
-                continue  # nothing committed since the last checkpoint
-            yield from self.cpu.serve(
-                self.perf.snapshot_base + self.perf.snapshot_per_txn * new
-            )
-            self._snapshot = {
-                "log_position": len(self._commit_index.log),
-                "count": known,
-                "digest": self._state_digest(),
-                "taken_at": self.sim.now,
-            }
-            self.snapshots_taken += 1
-            if self.tracer is not None:
-                self.tracer.instant(
-                    "org/snapshot",
-                    self.sim.now,
-                    node=self.org_id,
-                    attrs={"txns": known, "new": new},
+            for channel in self.channels.values():
+                known = len(channel.valid_txn_wire)
+                prev = channel.snapshot["count"] if channel.snapshot is not None else 0
+                new = max(0, known - prev)
+                if channel.snapshot is not None and new == 0:
+                    continue  # nothing committed since the last checkpoint
+                yield from self.cpu.serve(
+                    self.perf.snapshot_base + self.perf.snapshot_per_txn * new
                 )
+                channel.snapshot = {
+                    "log_position": len(channel.commit_index.log),
+                    "count": known,
+                    "digest": self._state_digest(channel),
+                    "taken_at": self.sim.now,
+                }
+                self.snapshots_taken += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "org/snapshot",
+                        self.sim.now,
+                        node=self.org_id,
+                        attrs={"txns": known, "new": new},
+                    )
 
     def recover(self) -> str:
         """Rejoin after a crash; returns the recovery mode used.
@@ -780,7 +928,9 @@ class Organization:
         (targeted anti-entropy). Otherwise it falls back to the legacy
         full :meth:`resync` broadcast.
         """
-        if self.snapshot_interval > 0 and self._snapshot is not None:
+        if self.snapshot_interval > 0 and any(
+            channel.snapshot is not None for channel in self.channels.values()
+        ):
             self.last_recovery_mode = "snapshot"
             self.crashed = False
             self.sim.process(self._recover_from_snapshot(), name=f"{self.org_id}.recover")
@@ -792,26 +942,36 @@ class Organization:
     def _recover_from_snapshot(self):
         started = self.sim.now
         # The insertion-ordered commit log makes the replay delta a
-        # slice — O(delta), no set copy or full-history membership scan.
-        delta = self._commit_index.log[self._snapshot["log_position"] :]
+        # slice — O(delta), no set copy or full-history membership
+        # scan. Channels replay independently; a channel that never
+        # checkpointed replays its whole (short) log. The CPU charge is
+        # the summed delta, one serve — identical to the legacy path
+        # when only the default channel exists.
+        replayed = 0
+        for channel in self.channels.values():
+            position = channel.snapshot["log_position"] if channel.snapshot else 0
+            replayed += len(channel.commit_index.log) - position
         yield from self.cpu.serve(
-            self.perf.recover_base + self.perf.recover_replay_per_txn * len(delta)
+            self.perf.recover_base + self.perf.recover_replay_per_txn * replayed
         )
-        self.ledger.rebuild_cache()
+        for channel in self.channels.values():
+            channel.ledger.rebuild_cache()
         # Targeted anti-entropy: a digest to a bounded number of peers
         # is enough to learn what was missed while down (each answers
-        # push-pull), without the O(peers) broadcast of resync().
+        # push-pull), without the O(peers) broadcast of resync(). The
+        # peer sample is shared across channels.
         fanout = min(2, len(self.peer_ids))
         targets = self.rng.sample(self.peer_ids, fanout) if fanout else []
         for target in targets:
-            self._send_digest(target, context="recover")
+            for channel in self.channels.values():
+                self._send_digest(target, context="recover", channel=channel)
         if self.tracer is not None:
             self.tracer.span(
                 "org/recover",
                 started,
                 self.sim.now,
                 node=self.org_id,
-                attrs={"mode": "snapshot", "replayed": len(delta), "peers": fanout},
+                attrs={"mode": "snapshot", "replayed": replayed, "peers": fanout},
             )
 
     # -- reads --------------------------------------------------------------------
@@ -822,18 +982,20 @@ class Organization:
         contract = self.contracts.get(proposal.contract_id)
         if contract is None:
             return
+        channel = self._channel_of(proposal.contract_id)
+        ledger = channel.ledger
         yield from self.cpu.serve(self.perf.read_base)
-        if self.ledger.cache_enabled:
+        if ledger.cache_enabled:
             # Cached reads are served under the cache lock.
-            entries = self.ledger.valid_transaction_count
+            entries = ledger.valid_transaction_count
             yield from self.cache_lock.serve(
                 self.perf.cache_read_base + self.perf.cache_read_per_entry * entries
             )
         else:
             # Ablation: replay the object's operations from the DB.
-            replay_ops = self._replay_cost_estimate(proposal)
+            replay_ops = self._replay_cost_estimate(proposal, channel)
             yield from self.cpu.serve(self.perf.log_replay_per_op * replay_ops)
-        reader = StateReader(self.ledger.read)
+        reader = StateReader(ledger.read)
         context = ContractContext(
             proposal.client_id, proposal.clock, state=reader, allow_reads=True
         )
@@ -848,20 +1010,27 @@ class Organization:
                 msg_type=MSG_READ_RESPONSE,
                 body={"proposal_id": proposal.proposal_id, "value": value},
                 size_bytes=self.perf.read_response_bytes,
+                channel=channel.channel_id,
             )
         )
 
-    def _replay_cost_estimate(self, proposal: Proposal) -> int:
+    def _replay_cost_estimate(
+        self, proposal: Proposal, channel: Optional[ChannelState] = None
+    ) -> int:
         """Operations replayed on a cache-miss read (the O(n) problem)."""
         del proposal  # cost driven by total committed operations
-        return max(1, self.ledger.valid_transaction_count)
+        ledger = (channel or self.channels[DEFAULT_CHANNEL]).ledger
+        return max(1, ledger.valid_transaction_count)
 
-    def transactions_for_object(self, object_id: str) -> Dict[str, Dict[str, Any]]:
+    def transactions_for_object(
+        self, object_id: str, channel: str = DEFAULT_CHANNEL
+    ) -> Dict[str, Dict[str, Any]]:
         """Valid committed transactions touching ``object_id`` (id -> wire)."""
+        state = self.channels[channel]
         return {
-            txn_id: self._valid_txn_wire[txn_id]
-            for txn_id in self._txns_by_object.get(object_id, ())
-            if txn_id in self._valid_txn_wire
+            txn_id: state.valid_txn_wire[txn_id]
+            for txn_id in state.txns_by_object.get(object_id, ())
+            if txn_id in state.valid_txn_wire
         }
 
     def commit_directly(self, transaction: Transaction):
@@ -875,12 +1044,20 @@ class Organization:
 
     # -- state access -------------------------------------------------------
 
-    def read_state(self, object_id: str, path=()) -> Any:
+    def read_state(self, object_id: str, path=(), channel: str = DEFAULT_CHANNEL) -> Any:
         """Direct (zero-time) state read for tests and assertions."""
-        return self.ledger.read(object_id, path)
+        return self.channels[channel].ledger.read(object_id, path)
 
     def state_snapshot(self) -> Any:
-        return self.ledger.state_snapshot()
+        """Application state: the legacy single-ledger snapshot with one
+        channel, else one snapshot per channel keyed by channel id (the
+        convergence oracle then compares shards pairwise for free)."""
+        if not self._multichannel:
+            return self.ledger.state_snapshot()
+        return {
+            channel_id: channel.ledger.state_snapshot()
+            for channel_id, channel in sorted(self.channels.items())
+        }
 
 
 __all__ = ["Organization"]

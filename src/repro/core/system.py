@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.byzantine import ByzantineClientConfig, ByzantineOrgConfig
+from repro.core.channel import DEFAULT_CHANNEL
 from repro.core.client import Client, ClientConfig
 from repro.core.contract import SmartContract
 from repro.core.organization import Organization
@@ -66,6 +67,43 @@ class OrderlessChainSettings:
             raise ConfigError(
                 f"endorsement policy needs 0 < q <= n, got q={self.quorum}, n={self.num_orgs}"
             )
+
+    @classmethod
+    def from_config(cls, config, **overrides) -> "OrderlessChainSettings":
+        """The canonical ``ExperimentConfig`` → settings conversion.
+
+        Every runner that builds an OrderlessChain network from a bench
+        config goes through here (``repro.bench.runner``, perfbench,
+        the ``repro.api`` facade) — there is exactly one place that
+        knows how the two configuration layers map onto each other.
+        ``config`` is duck-typed (any object with the
+        ``ExperimentConfig`` knob attributes works), which keeps the
+        core layer free of a ``repro.bench`` import. ``overrides``
+        replace individual settings fields after the mapping (e.g.
+        ``sync_interval`` for benchmarks).
+        """
+        from repro.resilience import ResilienceConfig
+
+        kwargs = dict(
+            num_orgs=config.num_orgs,
+            quorum=config.quorum,
+            seed=config.seed,
+            perf=config.perf(),
+            gossip_interval=config.gossip_interval,
+            gossip_fanout=config.gossip_fanout,
+            snapshot_interval=config.snapshot_interval,
+            legacy_digests=config.legacy_digests,
+            cache_enabled=config.cache_enabled,
+            explore=config.explore,
+            client_config=ClientConfig(
+                max_retries=config.max_retries,
+                avoid_byzantine=config.avoid_byzantine,
+                org_weights=config.org_weights,
+                resilience=ResilienceConfig() if config.resilience else None,
+            ),
+        )
+        kwargs.update(overrides)
+        return cls(**kwargs)
 
 
 class OrderlessChainNetwork:
@@ -128,14 +166,38 @@ class OrderlessChainNetwork:
 
     # -- setup -----------------------------------------------------------
 
-    def install_contract(self, contract_factory) -> None:
+    def install_contract(self, contract_factory, channel: str = DEFAULT_CHANNEL) -> None:
         """Install a contract on every organization.
 
         ``contract_factory`` is called once per organization so each
-        holds its own instance (no shared mutable state).
+        holds its own instance (no shared mutable state). With a
+        non-default ``channel`` the contract binds to that channel's
+        sharded state and is addressed as ``"<channel>:<contract_id>"``
+        (see :mod:`repro.core.channel`).
         """
         for org in self.organizations:
-            org.install_contract(contract_factory())
+            org.install_contract(contract_factory(), channel=channel)
+
+    def create_channel(self, channel_id: str, contract_factory=None) -> None:
+        """Create a channel on every organization.
+
+        Each organization grows an independent ledger, committed
+        index, gossip backlog, and watermark digest for the channel;
+        ``contract_factory`` (optional) is installed on it right away.
+        Creating the first extra channel switches sync wire bodies to
+        carry channel ids — call before :meth:`run` for deterministic
+        results.
+        """
+        for org in self.organizations:
+            org.create_channel(channel_id)
+        if contract_factory is not None:
+            self.install_contract(contract_factory, channel=channel_id)
+
+    @property
+    def channel_ids(self) -> List[str]:
+        if not self.organizations:
+            return [DEFAULT_CHANNEL]
+        return list(self.organizations[0].channels)
 
     def add_client(
         self,
@@ -243,15 +305,19 @@ class OrderlessChainNetwork:
         snapshots = [org.state_snapshot() for org in self.organizations]
         return all(snapshot == snapshots[0] for snapshot in snapshots)
 
-    def committed_everywhere(self, transaction_id: str) -> int:
+    def committed_everywhere(
+        self, transaction_id: str, channel: str = DEFAULT_CHANNEL
+    ) -> int:
         """How many organizations committed the transaction as valid."""
         return sum(
-            org.ledger.is_valid_transaction(transaction_id) for org in self.organizations
+            org.channels[channel].ledger.is_valid_transaction(transaction_id)
+            for org in self.organizations
         )
 
     def verify_all_ledgers(self) -> None:
         for org in self.organizations:
-            org.ledger.verify_integrity()
+            for channel in org.channels.values():
+                channel.ledger.verify_integrity()
 
     # -- fault injection and invariant checking (docs/FAULTS.md) ------------------
 

@@ -171,10 +171,28 @@ class OrderlessChainAdapter(SystemAdapter):
         return self._node(self._orgs, node_id).state_snapshot()
 
     def ledgers(self) -> Dict[str, Any]:
-        return {org_id: org.ledger for org_id, org in self._orgs.items()}
+        # Single-channel keys stay the bare org ids (golden-seed
+        # fingerprints hash these); multichannel deployments expose one
+        # ledger per channel shard as "org/channel".
+        out: Dict[str, Any] = {}
+        for org_id, org in self._orgs.items():
+            if len(org.channels) == 1:
+                out[org_id] = org.ledger
+            else:
+                for channel_id, channel in sorted(org.channels.items()):
+                    out[f"{org_id}/{channel_id}"] = channel.ledger
+        return out
 
     def committed_wires(self, node_id: str) -> Optional[Dict[str, Dict[str, Any]]]:
-        return dict(self._node(self._orgs, node_id)._valid_txn_wire)
+        org = self._node(self._orgs, node_id)
+        if len(org.channels) == 1:
+            return dict(org._valid_txn_wire)
+        # Transaction ids are network-wide unique (client id + Lamport
+        # counter), so the policy-safety audit can scan a flat merge.
+        merged: Dict[str, Dict[str, Any]] = {}
+        for _channel_id, channel in sorted(org.channels.items()):
+            merged.update(channel.valid_txn_wire)
+        return merged
 
     def byzantine_ids(self) -> FrozenSet[str]:
         return frozenset(

@@ -1,0 +1,76 @@
+"""Deprecated entry points must still work — and warn exactly once."""
+
+import warnings
+
+import pytest
+
+import repro.bench.runner as runner_mod
+from repro.bench.config import ExperimentConfig
+from repro.cli import _DeprecatedAlias, build_parser
+from repro.core.system import OrderlessChainSettings
+
+
+def test_settings_from_config_shim_warns_once_and_matches_canonical():
+    config = ExperimentConfig(system="orderlesschain", num_orgs=6, quorum=3, seed=5)
+    runner_mod._settings_shim_warned = False
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = runner_mod.settings_from_config(config)
+        second = runner_mod.settings_from_config(config)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "from_config" in str(deprecations[0].message)
+    canonical = OrderlessChainSettings.from_config(config)
+    assert first == canonical
+    assert second == canonical
+
+
+def test_cli_retries_alias_warns_once_and_sets_max_retries():
+    parser = build_parser()
+    _DeprecatedAlias._warned.discard("--retries")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = parser.parse_args(["run", "chaos", "--retries", "2"])
+        second = parser.parse_args(["run", "chaos", "--retries", "3"])
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "--max-retries" in str(deprecations[0].message)
+    assert first.max_retries == 2
+    assert second.max_retries == 3
+
+
+def test_cli_max_retries_does_not_warn():
+    parser = build_parser()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        args = parser.parse_args(["run", "chaos", "--max-retries", "4"])
+    assert args.max_retries == 4
+
+
+def test_no_internal_module_imports_deprecated_shim():
+    # The shim exists for external callers only; grepping the package
+    # source keeps internal code on the canonical path.
+    import pathlib
+
+    import repro
+
+    package_root = pathlib.Path(repro.__file__).parent
+    offenders = []
+    for path in package_root.rglob("*.py"):
+        text = path.read_text()
+        if "settings_from_config(" in text and path.name != "runner.py":
+            offenders.append(str(path))
+    assert offenders == []
+
+
+@pytest.mark.parametrize("command", ["run", "bench", "explore", "report"])
+def test_shared_flags_are_uniform(command):
+    parser = build_parser()
+    argv = [command, "fig6b"] if command == "run" else [command]
+    args = parser.parse_args(argv)
+    # --jobs exists everywhere with the same default.
+    assert args.jobs is None
+    if command != "report":
+        assert args.seed == 0
+        assert args.app == "voting"
+        assert args.system is None

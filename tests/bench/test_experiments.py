@@ -93,3 +93,18 @@ def test_resource_utilization_comparison():
     utilizations = experiments.resource_utilization_comparison(**TINY)
     assert set(utilizations) == {"orderlesschain", "fabric"}
     assert all(0.0 <= u <= 1.0 for u in utilizations.values())
+
+
+def test_multichannel_scaling_monotone_committed():
+    results = experiments.multichannel_scaling(channel_counts=(1, 2), **TINY)
+    labels = [label for label, _ in results]
+    assert labels == ["1", "2"]
+    committed = [r.committed for _, r in results]
+    assert committed[1] > committed[0] > 0
+    assert all(r.check_report.ok for _, r in results)
+
+
+def test_multichannel_chaos_smoke():
+    result = experiments.multichannel_chaos(duration=20.0, scale=60.0, seed=7)
+    assert result.check_report.ok
+    assert set(result.extra["committed_by_channel"]) == {"ch0", "ch1"}

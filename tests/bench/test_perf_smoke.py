@@ -32,6 +32,7 @@ EXPECTED_WORKLOADS = {
     "net/send",
     "orderless/events",
     "orderless/antientropy",
+    "orderless/multichannel",
 }
 
 
@@ -114,3 +115,17 @@ def test_format_report_is_printable(tmp_path, smoke_results):
     text = format_report(report)
     for name in EXPECTED_WORKLOADS:
         assert name in text
+
+
+def test_multichannel_smoke_scaling_is_monotone(smoke_results):
+    # Even at smoke scale the per-point committed counts must grow with
+    # channel count — the claim BENCH_perf.json records at full scale.
+    points = smoke_results["orderless/multichannel"]["scaling"]
+    counts = [point["channels"] for point in points]
+    committed = [point["committed"] for point in points]
+    assert counts == sorted(counts)
+    assert all(b > a for a, b in zip(committed, committed[1:]))
+    for point in points:
+        assert set(point["committed_by_channel"]) == {
+            f"ch{i}" for i in range(point["channels"])
+        }

@@ -1,0 +1,45 @@
+"""Multichannel chaos smoke: per-channel oracles green under faults.
+
+Two-application channel deployments run the standard crash + partition
++ loss smoke schedule; the fault adapter exposes one ledger per
+``org/channel`` shard, so a green report means *every* channel's
+replicas converged and every hash chain verified independently —
+cross-channel interference under faults would show up here.
+"""
+
+import pytest
+
+from repro.bench import experiments
+
+APP_PAIRS = (("voting", "auction"), ("synthetic", "voting"))
+SEEDS = (1, 2)
+
+
+@pytest.mark.parametrize("apps", APP_PAIRS, ids=["+".join(p) for p in APP_PAIRS])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_multichannel_chaos_oracles_green(apps, seed):
+    result = experiments.multichannel_chaos(
+        apps=apps, duration=20.0, scale=50.0, seed=seed
+    )
+    report = result.check_report
+    assert report is not None
+    assert report.ok, "\n" + report.format()
+    by_channel = result.extra["committed_by_channel"]
+    assert set(by_channel) == {"ch0", "ch1"}
+    assert all(count >= 1 for count in by_channel.values())
+
+
+@pytest.mark.chaos
+def test_multichannel_chaos_with_resilience():
+    result = experiments.multichannel_chaos(
+        apps=("voting", "auction"), duration=20.0, scale=20.0, seed=1, resilience=True
+    )
+    assert result.check_report.ok, "\n" + result.check_report.format()
+
+
+@pytest.mark.chaos
+def test_multichannel_chaos_deterministic():
+    first = experiments.multichannel_chaos(duration=20.0, scale=50.0, seed=3)
+    second = experiments.multichannel_chaos(duration=20.0, scale=50.0, seed=3)
+    assert first.fingerprint == second.fingerprint
+    assert first.committed == second.committed

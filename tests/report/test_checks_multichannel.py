@@ -1,0 +1,51 @@
+"""Unit tests for the ``multichannel-throughput-scales`` report check."""
+
+from repro.report.catalog import get_spec
+from repro.report.checks import CHECKS
+
+CHECK = CHECKS["multichannel-throughput-scales"]
+
+
+def _record(channels, committed, oracles_ok=True):
+    return {"channels": str(channels), "committed": committed, "oracles_ok": oracles_ok}
+
+
+def test_monotone_green_passes():
+    records = [_record(1, 100), _record(2, 201), _record(4, 410)]
+    ok, detail = CHECK(records, {})
+    assert ok
+    assert "1ch:100" in detail and "4ch:410" in detail
+
+
+def test_flat_committed_fails():
+    records = [_record(1, 100), _record(2, 100), _record(4, 300)]
+    ok, _ = CHECK(records, {})
+    assert not ok
+
+
+def test_red_oracle_fails_even_when_monotone():
+    records = [_record(1, 100), _record(2, 200, oracles_ok=False), _record(4, 400)]
+    ok, detail = CHECK(records, {})
+    assert not ok
+    assert "oracles red" in detail
+
+
+def test_sorts_numerically_not_lexically():
+    # "10" must sort after "2": lexical ordering would scramble the
+    # monotonicity comparison.
+    records = [_record(10, 1000), _record(1, 100), _record(2, 200)]
+    ok, _ = CHECK(records, {})
+    assert ok
+
+
+def test_too_few_points_fails():
+    ok, detail = CHECK([_record(1, 100)], {})
+    assert not ok
+    assert "two channel counts" in detail
+
+
+def test_catalog_spec_wires_the_check():
+    spec = get_spec("multichannel")
+    assert spec.checks == ("multichannel-throughput-scales",)
+    assert spec.x_label == "channels"
+    assert spec.kind == "sweep"
